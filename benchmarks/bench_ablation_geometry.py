@@ -1,0 +1,66 @@
+"""Ablation: triangulation geometry — error vs reader depth, prediction vs
+simulation.
+
+The error of intersecting two bearings grows with the distance from the
+baseline (dilution ~ D^2 / baseline for the depth coordinate).  The planner
+(`repro.sim.planning`) predicts this a priori from the phase-noise level;
+this bench sweeps the reader depth and checks the simulator tracks the
+predicted growth, validating the planning module against the full stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers_bench import emit
+
+from repro.core.geometry import Point2
+from repro.sim.metrics import ErrorCollection
+from repro.sim.planning import PlannedDisk, predicted_rmse
+from repro.sim.scenario import paper_default_scenario
+
+DEPTHS = [1.0, 1.5, 2.0, 2.5]
+TRIALS_PER_DEPTH = 4
+
+DISKS = [PlannedDisk(Point2(-0.25, 0.0)), PlannedDisk(Point2(0.25, 0.0))]
+
+
+def test_ablation_geometry_dilution(benchmark, capsys):
+    scenario = paper_default_scenario(seed=1501)
+    scenario.run_orientation_prelude()
+    rng = np.random.default_rng(1502)
+
+    lines = [
+        f"{'depth [m]':>9} | {'predicted_cm':>12} | {'simulated_cm':>12}"
+    ]
+    lines.append("-" * len(lines[0]))
+    predicted_means, simulated_means = [], []
+    for depth in DEPTHS:
+        errors = ErrorCollection()
+        predictions = []
+        for _ in range(TRIALS_PER_DEPTH):
+            pose = Point2(float(rng.uniform(-0.8, 0.8)), depth)
+            predictions.append(predicted_rmse(pose, DISKS))
+            _fix, error = scenario.locate_2d(pose)
+            errors.add(error)
+        predicted_means.append(float(np.mean(predictions)))
+        simulated_means.append(errors.summary().mean)
+        lines.append(
+            f"{depth:>9.1f} | {predicted_means[-1] * 100:>12.2f} | "
+            f"{simulated_means[-1] * 100:>12.2f}"
+        )
+    emit(capsys, "Ablation - geometry dilution", "\n".join(lines))
+
+    # Both curves grow with depth, and the prediction stays within an
+    # order of magnitude of the simulation (it ignores residual
+    # orientation error and far-field model error).
+    assert simulated_means[-1] > simulated_means[0]
+    assert predicted_means[-1] > predicted_means[0]
+    for predicted, simulated in zip(predicted_means, simulated_means):
+        assert simulated < 10.0 * predicted + 0.05
+
+    benchmark.pedantic(
+        lambda: predicted_rmse(Point2(0.3, 2.0), DISKS),
+        rounds=20,
+        iterations=1,
+    )

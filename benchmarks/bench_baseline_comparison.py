@@ -1,0 +1,48 @@
+"""Section VII-B: Tagspin vs LandMARC, AntLoc, PinIt and BackPos.
+
+The paper quotes the published accuracies of the four systems; here all
+five run live on the same simulated multipath office (see
+``repro.sim.comparison`` for the per-system adaptations).  The shape to
+reproduce: Tagspin wins; the phase/SAR systems (PinIt, BackPos) are the
+closest chasers; the RSS systems (LandMARC, AntLoc) trail far behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers_bench import emit
+
+from repro.core.geometry import Point2
+from repro.sim.comparison import BaselineComparison, format_comparison_table
+from repro.sim.scenario import paper_default_scenario
+
+
+def test_baseline_comparison(benchmark, capsys):
+    comparison = BaselineComparison(
+        paper_default_scenario(seed=77), seed=78
+    )
+    comparison.calibrate()
+    results = comparison.run(trials=12)
+    emit(capsys, "VII-B - baseline comparison", format_comparison_table(results))
+
+    by_name = {r.name: r.summary().mean for r in results}
+    tagspin = by_name["Tagspin"]
+
+    # Tagspin beats every baseline.
+    for name, mean in by_name.items():
+        if name != "Tagspin":
+            assert mean > tagspin, f"{name} should trail Tagspin"
+
+    # Phase/SAR systems beat RSS systems (the paper's grouping).
+    assert max(by_name["PinIt"], by_name["BackPos"]) < max(
+        by_name["LandMARC"], by_name["AntLoc"]
+    ) * 1.5
+
+    benchmark.pedantic(
+        lambda: comparison.landmarc.locate(
+            comparison._collect_fixed(Point2(0.5, 1.9))
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,90 @@
+"""Figure 11: tag-orientation impact and the value of calibrating it.
+
+(a) Mean relative phase vs orientation, averaged over all five tag models
+and several locations (the stable pattern of Observation 3.1); phases are
+referenced to the value at 90 degrees, as in the paper.
+
+(b) Error CDF with vs without the orientation-calibration step; the paper
+reports a ~1.7x mean improvement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers_bench import emit
+
+from repro.core.calibration import REFERENCE_ORIENTATION_RAD
+from repro.core.pipeline import PipelineConfig
+from repro.hardware.tags import TABLE_I, make_tag
+from repro.sim.runner import run_trials_2d
+from repro.sim.scenario import paper_default_scenario
+
+
+def test_fig11a_phase_vs_orientation(benchmark, capsys):
+    """Average relative phase offset vs orientation across models."""
+    rng = np.random.default_rng(11)
+    orientations = np.deg2rad(np.arange(0, 360, 30))
+    tags = [make_tag(key, rng) for key in TABLE_I for _ in range(3)]
+
+    def averaged_curve():
+        curves = [
+            np.asarray(tag.orientation_truth.offset(orientations))
+            - float(tag.orientation_truth.offset(REFERENCE_ORIENTATION_RAD))
+            for tag in tags
+        ]
+        return np.mean(curves, axis=0)
+
+    mean_curve = averaged_curve()
+    lines = [f"{'orientation [deg]':>17} | mean relative phase [rad]"]
+    lines.append("-" * len(lines[0]))
+    for deg, value in zip(range(0, 360, 30), mean_curve):
+        lines.append(f"{deg:>17} | {value:+.3f}")
+    lines.append("")
+    lines.append(
+        f"fleet-average fluctuation: {np.ptp(mean_curve):.2f} rad "
+        f"peak-to-peak (paper: stable ~0.7 rad pattern)"
+    )
+    emit(capsys, "Fig 11a - phase vs orientation", "\n".join(lines))
+
+    assert 0.1 < np.ptp(mean_curve) < 1.2
+    # Referenced at 90 degrees, the offset there must be ~0.
+    index_90 = 3
+    assert abs(mean_curve[index_90]) < 1e-9
+
+    benchmark.pedantic(averaged_curve, rounds=10, iterations=1)
+
+
+def test_fig11b_calibration_vs_none(benchmark, capsys):
+    """Controlled comparison: same scene, calibration on vs off."""
+    scenario = paper_default_scenario(seed=1102)
+    scenario.run_orientation_prelude()
+    without = scenario.with_pipeline(
+        PipelineConfig(orientation_calibration=False)
+    )
+
+    batch_with = run_trials_2d(scenario, trials=14, seed=1103)
+    batch_without = run_trials_2d(without, trials=14, seed=1103)
+
+    mean_with = batch_with.summary().mean
+    mean_without = batch_without.summary().mean
+    improvement = mean_without / mean_with
+
+    body = "\n".join(
+        [
+            f"with calibration    : mean {mean_with * 100:.2f} cm, "
+            f"p90 {batch_with.errors.cdf().percentile(0.9) * 100:.2f} cm",
+            f"without calibration : mean {mean_without * 100:.2f} cm, "
+            f"p90 {batch_without.errors.cdf().percentile(0.9) * 100:.2f} cm",
+            f"improvement         : {improvement:.2f}x (paper: ~1.7x)",
+        ]
+    )
+    emit(capsys, "Fig 11b - calibration impact", body)
+
+    assert improvement > 1.2  # calibration must help materially
+
+    from repro.core.geometry import Point2
+
+    benchmark.pedantic(
+        lambda: scenario.locate_2d(Point2(0.5, 1.8)), rounds=3, iterations=1
+    )

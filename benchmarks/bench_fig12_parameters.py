@@ -1,0 +1,173 @@
+"""Figure 12: impact of system parameters and device diversity.
+
+(a) disk-center distance sweep 20-80 cm — stable above ~30 cm, degraded at
+    the minimum 20 cm (adjacent rim points confuse the phases);
+(b) disk-radius sweep 2-20 cm — sweet spot around [8, 14] cm: too small and
+    the phase modulation drowns in noise, too large and the far-field
+    (D >> r) approximation bends;
+(c) tag-model diversity — five models, near-constant accuracy (<~1.5 cm
+    spread);
+(d) reader-antenna diversity — four antennas with distinct hardware
+    offsets, near-identical error CDFs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers_bench import emit
+
+from repro.core.geometry import Point2, Point3
+from repro.core.pipeline import PipelineConfig
+from repro.sim.metrics import ErrorCollection, ErrorSample
+from repro.sim.runner import format_sweep_table, run_trials_2d, sweep
+from repro.sim.scenario import ScenarioConfig, TagspinScenario
+from repro.sim.scene import DeploymentSpec, sample_reader_positions_2d
+
+TRIALS = 8
+
+
+def _scenario_for(deployment: DeploymentSpec, seed: int) -> TagspinScenario:
+    return TagspinScenario(
+        ScenarioConfig(deployment=deployment, seed=seed)
+    )
+
+
+def test_fig12a_center_distance(benchmark, capsys):
+    distances = [0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80]
+
+    def factory(distance):
+        deployment = DeploymentSpec(
+            disk_centers=(
+                Point3(-distance / 2, 0.0, 0.0),
+                Point3(distance / 2, 0.0, 0.0),
+            )
+        )
+        return _scenario_for(deployment, seed=1201)
+
+    points = sweep(distances, factory, trials=TRIALS, seed=1202)
+    emit(
+        capsys,
+        "Fig 12a - center distance sweep",
+        format_sweep_table(points, "distance_cm", value_scale=100.0),
+    )
+
+    means = {p.value: p.summary.mean for p in points}
+    stable = [means[d] for d in distances if d >= 0.30]
+    # Stable region: small spread; 20 cm no better than the stable mean.
+    assert max(stable) < 3.0 * min(stable)
+    assert means[0.20] > 0.8 * float(np.mean(stable))
+
+    benchmark.pedantic(
+        lambda: factory(0.50).locate_2d(Point2(0.4, 1.8)),
+        rounds=2, iterations=1,
+    )
+
+
+def test_fig12b_radius(benchmark, capsys):
+    radii = [0.02, 0.04, 0.08, 0.10, 0.14, 0.18, 0.20]
+
+    def factory(radius):
+        return _scenario_for(DeploymentSpec(disk_radius=radius), seed=1203)
+
+    points = sweep(radii, factory, trials=TRIALS, seed=1204)
+    emit(
+        capsys,
+        "Fig 12b - radius sweep",
+        format_sweep_table(points, "radius_cm", value_scale=100.0),
+    )
+
+    means = {p.value: p.summary.mean for p in points}
+    sweet = float(np.mean([means[r] for r in (0.08, 0.10, 0.14)]))
+    # Tiny radii are clearly worse than the paper's [8, 14] cm sweet spot.
+    assert means[0.02] > 1.5 * sweet
+
+    benchmark.pedantic(
+        lambda: factory(0.10).locate_2d(Point2(0.4, 1.8)),
+        rounds=2, iterations=1,
+    )
+
+
+def test_fig12c_tag_diversity(benchmark, capsys):
+    models = ["squig", "square", "squiglette", "squiggle", "short"]
+    results = {}
+    for model in models:
+        scenario = _scenario_for(DeploymentSpec(tag_model=model), seed=1205)
+        batch = run_trials_2d(scenario, trials=TRIALS, seed=1206)
+        results[model] = batch.summary()
+
+    lines = [f"{'model':>10} | {'mean_cm':>7} | {'std_cm':>6}"]
+    lines.append("-" * len(lines[0]))
+    for model, summary in results.items():
+        stats = summary.as_centimeters()
+        lines.append(
+            f"{model:>10} | {stats['mean_cm']:>7.2f} | {stats['std_cm']:>6.2f}"
+        )
+    spread = max(s.mean for s in results.values()) - min(
+        s.mean for s in results.values()
+    )
+    lines.append("")
+    lines.append(
+        f"max-min spread: {spread * 100:.2f} cm (paper: <~1.5 cm — near-"
+        f"constant across models)"
+    )
+    emit(capsys, "Fig 12c - tag diversity", "\n".join(lines))
+
+    assert spread < 0.05  # a few cm at most across tag models
+
+    scenario = _scenario_for(DeploymentSpec(tag_model="squiggle"), seed=1205)
+    scenario.run_orientation_prelude()
+    benchmark.pedantic(
+        lambda: scenario.locate_2d(Point2(0.4, 1.8)), rounds=2, iterations=1
+    )
+
+
+def test_fig12d_antenna_diversity(benchmark, capsys):
+    """Four antennas, each with its own diversity constant, localized in
+    one campaign; their error statistics should be near-identical."""
+    scenario = TagspinScenario(ScenarioConfig(seed=1207))
+    scenario.run_orientation_prelude()
+    rng = np.random.default_rng(1208)
+    centers = [u.disk.center for u in scenario.scene.spinning_units]
+    poses = sample_reader_positions_2d(
+        TRIALS, rng, x_range=(-2.0, 1.0), disk_centers=centers
+    )
+
+    per_antenna = {port: ErrorCollection() for port in (1, 2, 3, 4)}
+    for pose in poses:
+        batch, reader = scenario.collect(
+            Point3(pose.x, pose.y, 0.0), num_antennas=4
+        )
+        for port in per_antenna:
+            fix = scenario.system.locate_2d(batch, port)
+            truth = reader.antenna(port).position.horizontal()
+            per_antenna[port].add(
+                ErrorSample(
+                    x=abs(fix.position.x - truth.x),
+                    y=abs(fix.position.y - truth.y),
+                )
+            )
+
+    lines = [f"{'antenna':>7} | {'mean_cm':>7} | {'std_cm':>6} | {'p90_cm':>6}"]
+    lines.append("-" * len(lines[0]))
+    means = []
+    for port, errors in per_antenna.items():
+        stats = errors.summary().as_centimeters()
+        means.append(errors.summary().mean)
+        lines.append(
+            f"{port:>7} | {stats['mean_cm']:>7.2f} | {stats['std_cm']:>6.2f} | "
+            f"{stats['p90_cm']:>6.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"max-min spread: {(max(means) - min(means)) * 100:.2f} cm "
+        f"(paper: ~0.3 cm across four antennas)"
+    )
+    emit(capsys, "Fig 12d - antenna diversity", "\n".join(lines))
+
+    assert max(means) - min(means) < 0.06
+
+    benchmark.pedantic(
+        lambda: scenario.collect(Point3(0.4, 1.8, 0.0), num_antennas=4),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,48 @@
+"""Table I: the COTS tag models used throughout the evaluation.
+
+Regenerates the tag-model table (model number, vendor, chip, inlay size,
+quantity manufactured for the experiments) plus the simulator's per-model
+orientation ground truth, and benchmarks tag manufacturing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from helpers_bench import emit
+
+from repro.hardware.tags import TABLE_I, make_tags
+
+QTY_PER_MODEL = 4  # tags of each model manufactured for the experiments
+
+
+def test_table1_tag_models(benchmark, capsys):
+    rng = np.random.default_rng(1)
+    fleet = {
+        key: benchmarkable_tags
+        for key in TABLE_I
+        for benchmarkable_tags in [make_tags(QTY_PER_MODEL, key, rng)]
+    }
+
+    lines = [
+        f"{'#':>2} | {'Model':>9} | {'Name':>10} | {'Company':>7} | "
+        f"{'Chip':>8} | {'Size (mm^2)':>12} | {'QTY':>3} | pp [rad]"
+    ]
+    lines.append("-" * len(lines[0]))
+    for index, (key, model) in enumerate(TABLE_I.items(), start=1):
+        size = f"{model.size_mm[0]:.1f}x{model.size_mm[1]:.1f}"
+        measured_pp = np.mean(
+            [t.orientation_truth.series.peak_to_peak() for t in fleet[key]]
+        )
+        lines.append(
+            f"{index:>2} | {model.model_number:>9} | {model.name:>10} | "
+            f"{model.company:>7} | {model.chip:>8} | {size:>12} | "
+            f"{QTY_PER_MODEL:>3} | {measured_pp:.2f}"
+        )
+    emit(capsys, "Table I - tag models", "\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: make_tags(QTY_PER_MODEL, "squiggle", np.random.default_rng(2)),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it prints the
+same rows/series the paper reports (bypassing pytest's capture so the output
+always appears) and times a representative core computation with
+pytest-benchmark.  Absolute numbers come from the simulator, not the
+authors' testbed — the *shape* of each result is what is reproduced; see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.sim.scenario import TagspinScenario, paper_default_scenario
+
+
+@pytest.fixture(scope="session")
+def scenario_2d() -> TagspinScenario:
+    scenario = paper_default_scenario(seed=2016)
+    scenario.run_orientation_prelude()
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def scenario_3d() -> TagspinScenario:
+    scenario = paper_default_scenario(seed=2016, three_d=True)
+    scenario.run_orientation_prelude()
+    return scenario

@@ -1,0 +1,20 @@
+"""Reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(capsys, title: str, body: str) -> None:
+    """Print a result block to the real terminal and archive it."""
+    text = f"\n=== {title} ===\n{body}\n"
+    with capsys.disabled():
+        print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = (
+        title.lower().replace(" ", "_").replace("/", "-").replace("(", "")
+        .replace(")", "")
+    )
+    (RESULTS_DIR / f"{slug}.txt").write_text(text)

@@ -1,0 +1,37 @@
+"""Shootout: Tagspin vs the four baseline localization systems.
+
+Every system localizes the same reader poses on the same simulated
+multipath office: Tagspin from its two spinning tags; LandMARC from RSSI
+fingerprints of a 12-tag reference grid; AntLoc from a rotating-antenna
+RSS scan; PinIt from DTW-matched SAR angular profiles; BackPos from
+calibrated pairwise phase differences.
+
+Run:  python examples/baseline_shootout.py      (takes ~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro import paper_default_scenario
+from repro.sim.comparison import BaselineComparison, format_comparison_table
+
+
+def main() -> None:
+    print("deploying infrastructure (2 spinning tags + 12 reference tags)...")
+    comparison = BaselineComparison(paper_default_scenario(seed=99), seed=100)
+
+    print("one-off deployment calibration (orientation prelude, BackPos offsets)...")
+    comparison.calibrate()
+
+    print("running 8 random reader poses through all five systems...\n")
+    results = comparison.run(trials=8)
+    print(format_comparison_table(results))
+
+    tagspin = next(r for r in results if r.name == "Tagspin")
+    print(
+        f"\nTagspin mean error: {tagspin.summary().mean * 100:.2f} cm — "
+        f"the paper reports ~4.6 cm (2D) on real COTS hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

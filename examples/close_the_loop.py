@@ -1,0 +1,50 @@
+"""The full story: calibrate the antennas, then locate tags with them.
+
+Tag localization is why reader calibration matters.  This example deploys
+a four-antenna reader at positions unknown to the server, calibrates all
+four with Tagspin's spinning tags, then locates five target tags with a
+phase-based localizer — comparing the downstream accuracy against ground
+truth antenna positions and against manual tape-measure calibration.
+
+Run:  python examples/close_the_loop.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.closed_loop import (
+    ClosedLoopExperiment,
+    format_closed_loop_table,
+)
+from repro.sim.scenario import paper_default_scenario
+
+
+def main() -> None:
+    scenario = paper_default_scenario(seed=77)
+    scenario.run_orientation_prelude()
+    experiment = ClosedLoopExperiment(scenario, seed=78)
+
+    print("step 1: Tagspin calibrates the four antennas from two spinning tags")
+    estimates = experiment.calibrate_antennas()
+    for port in sorted(estimates):
+        truth = experiment.antenna_truth[port]
+        error_cm = estimates[port].distance_to(truth) * 100
+        print(
+            f"  antenna {port}: ({estimates[port].x:+.3f}, "
+            f"{estimates[port].y:+.3f}) m  (error {error_cm:.2f} cm)"
+        )
+
+    print("\nstep 2: locate five target tags with each antenna-position source")
+    results = experiment.run()
+    print(format_closed_loop_table(results))
+
+    truth = results[0].tag_mean_error
+    tagspin = results[1].tag_mean_error
+    print(
+        f"\nTagspin's automatic calibration costs only "
+        f"{(tagspin - truth) * 100:+.1f} cm of downstream tag accuracy vs "
+        f"perfect knowledge — and zero tape measures."
+    )
+
+
+if __name__ == "__main__":
+    main()

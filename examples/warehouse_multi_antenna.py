@@ -1,0 +1,58 @@
+"""Warehouse scenario: calibrate a four-antenna portal in one campaign.
+
+The paper's motivation: tag-localization deployments need every reader
+antenna's position, and taping a laser rangefinder to four ceiling antennas
+is slow and error-prone.  Here a Speedway-class reader with four antennas
+(a dock-door portal) interrogates the two spinning infrastructure tags;
+the central localization server ingests the single LLRP stream and
+calibrates *all four* antenna positions at once.
+
+Run:  python examples/warehouse_multi_antenna.py
+"""
+
+from __future__ import annotations
+
+from repro import paper_default_scenario
+from repro.core.geometry import Point3
+from repro.server.service import LocalizationServer
+
+
+def main() -> None:
+    scenario = paper_default_scenario(seed=7)
+    scenario.run_orientation_prelude()
+
+    # The portal: antenna port 1 at the given pose, ports 2-4 spaced 40 cm
+    # along the dock door.
+    portal_pose = Point3(-0.8, 2.1, 0.0)
+    print("collecting one inventory pass over all four antenna ports...")
+    batch, reader = scenario.collect(portal_pose, num_antennas=4)
+    print(f"  {len(batch)} LLRP tag reports")
+
+    # Stream the reports to the central localization server.
+    server = LocalizationServer(
+        scenario.scene.registry, scenario.config.pipeline
+    )
+    server.ingest("portal-reader", batch.reports)
+
+    print("\nper-antenna calibration results:")
+    fixes = server.locate_all_2d("portal-reader")
+    worst = 0.0
+    for port in sorted(fixes):
+        truth = reader.antenna(port).position.horizontal()
+        fix = fixes[port]
+        error_cm = fix.position.distance_to(truth) * 100
+        worst = max(worst, error_cm)
+        print(
+            f"  antenna {port}: estimate=({fix.position.x:+.3f}, "
+            f"{fix.position.y:+.3f}) m  truth=({truth.x:+.3f}, "
+            f"{truth.y:+.3f}) m  error={error_cm:.2f} cm"
+        )
+    print(
+        f"\nall four antennas calibrated from one campaign; "
+        f"worst error {worst:.2f} cm (manual taping: ~minutes per antenna "
+        f"and decimeter-level mistakes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

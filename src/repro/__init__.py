@@ -1,0 +1,146 @@
+"""Tagspin: accurate spatial calibration of RFID antennas via spinning tags.
+
+A full reproduction of the ICDCS 2016 Tagspin system: a COTS-hardware
+simulator (Gen2 inventory, LLRP reports, backscatter channel), the SAR-based
+angle-spectrum algorithms with the paper's enhanced power profile and
+phase-orientation calibration, 2D/3D reader localization, and the four
+baseline systems it is evaluated against.
+
+Quickstart::
+
+    from repro import paper_default_scenario
+    from repro.core.geometry import Point2
+
+    scenario = paper_default_scenario(seed=1)
+    scenario.run_orientation_prelude()
+    fix, error = scenario.locate_2d(Point2(0.4, 1.9))
+    print(fix.position, error.combined)
+"""
+
+from repro.constants import (
+    DEFAULT_ANGULAR_SPEED_RAD_S,
+    DEFAULT_DISK_RADIUS_M,
+    DEFAULT_WAVELENGTH_M,
+    PHASE_NOISE_STD_RAD,
+)
+from repro.core.calibration import (
+    FourierSeries,
+    OrientationCalibrator,
+    OrientationProfile,
+    fit_fourier_series,
+)
+from repro.core.geometry import Bearing2D, Bearing3D, Point2, Point3
+from repro.core.locator import Fix2D, Fix3D, TagspinLocator2D, TagspinLocator3D
+from repro.core.pipeline import PipelineConfig, TagspinSystem
+from repro.apps.closed_loop import ClosedLoopExperiment
+from repro.apps.tag_localization import HyperbolicTagLocator
+from repro.core.tracking import ConstantVelocityKalman, ReaderTracker, TrackPoint
+from repro.core.spectrum import (
+    AngleSpectrum,
+    JointSpectrum,
+    SnapshotSeries,
+    compute_q_profile,
+    compute_q_profile_3d,
+    compute_r_profile,
+    compute_r_profile_3d,
+)
+from repro.errors import (
+    AmbiguityError,
+    CalibrationError,
+    ConfigurationError,
+    InsufficientDataError,
+    TagspinError,
+    UnknownTagError,
+)
+from repro.hardware.llrp import ReportBatch, ROSpec, TagReportData
+from repro.hardware.reader import SimulatedReader, SpinningTagUnit, StaticTagUnit
+from repro.hardware.rotator import Mount, SpinningDisk, horizontal_disk, vertical_disk
+from repro.hardware.tags import TABLE_I, TagInstance, TagModel, make_tag
+from repro.server.health import DeploymentMonitor, HealthReport
+from repro.server.registry import SpinningTagRecord, TagRegistry
+from repro.server.service import LocalizationServer
+from repro.sim.metrics import Cdf, ErrorCollection, ErrorSample, ErrorSummary
+from repro.sim.scenario import (
+    ScenarioConfig,
+    TagspinScenario,
+    paper_default_scenario,
+)
+from repro.sim.planning import (
+    AccuracyMap,
+    PlannedDisk,
+    accuracy_map,
+    predicted_rmse,
+    recommend_center_distance,
+)
+from repro.sim.scene import DeploymentSpec, Scene, build_scene
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyMap",
+    "AmbiguityError",
+    "AngleSpectrum",
+    "Bearing2D",
+    "Bearing3D",
+    "CalibrationError",
+    "Cdf",
+    "ClosedLoopExperiment",
+    "ConfigurationError",
+    "ConstantVelocityKalman",
+    "DeploymentMonitor",
+    "DeploymentSpec",
+    "ErrorCollection",
+    "ErrorSample",
+    "ErrorSummary",
+    "Fix2D",
+    "Fix3D",
+    "FourierSeries",
+    "HealthReport",
+    "HyperbolicTagLocator",
+    "InsufficientDataError",
+    "JointSpectrum",
+    "LocalizationServer",
+    "Mount",
+    "OrientationCalibrator",
+    "OrientationProfile",
+    "PipelineConfig",
+    "PlannedDisk",
+    "Point2",
+    "Point3",
+    "ReaderTracker",
+    "ReportBatch",
+    "ROSpec",
+    "Scene",
+    "ScenarioConfig",
+    "SimulatedReader",
+    "SnapshotSeries",
+    "SpinningDisk",
+    "SpinningTagRecord",
+    "SpinningTagUnit",
+    "StaticTagUnit",
+    "TABLE_I",
+    "TagInstance",
+    "TagModel",
+    "TagRegistry",
+    "TagReportData",
+    "TagspinError",
+    "TagspinLocator2D",
+    "TagspinLocator3D",
+    "TagspinScenario",
+    "TagspinSystem",
+    "TrackPoint",
+    "UnknownTagError",
+    "accuracy_map",
+    "build_scene",
+    "compute_q_profile",
+    "compute_q_profile_3d",
+    "compute_r_profile",
+    "compute_r_profile_3d",
+    "fit_fourier_series",
+    "horizontal_disk",
+    "make_tag",
+    "paper_default_scenario",
+    "predicted_rmse",
+    "recommend_center_distance",
+    "vertical_disk",
+]

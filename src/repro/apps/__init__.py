@@ -1,0 +1,1 @@
+"""Downstream applications built on the calibrated reader infrastructure."""

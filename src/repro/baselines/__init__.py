@@ -1,0 +1,1 @@
+"""Baseline localization systems the paper compares against."""

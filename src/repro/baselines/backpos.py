@@ -1,0 +1,185 @@
+"""BackPos-style phase-difference (hyperbolic) positioning (Liu et al.).
+
+Original system: one reader with several antennas measures the backscatter
+phase of a target tag; phase *differences* between antenna pairs cancel the
+tag/reader diversity terms and constrain the tag to hyperbolas with the
+antennas as foci (range-difference known modulo lambda/2).
+
+Reader-localization dual used here: pairs of *reference tags* at known
+positions play the antennas' role.  The per-link diversity does NOT cancel
+across two different tags, so — as BackPos does for its antennas — a one-off
+offset calibration from a known reader pose is performed first
+(:meth:`BackposLocalizer.calibrate_offsets`).  After calibration, the
+wrapped phase difference of a tag pair constrains the range difference
+modulo lambda/2; the reader position is found by a grid search minimizing
+the wrapped residuals over all pairs (resolving the integer ambiguities
+implicitly), refined by a local fine search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineFix,
+    ReaderLocalizer,
+    candidate_grid,
+    mean_phase_per_tag_channel,
+)
+from repro.core.geometry import Point2, Point3
+from repro.core.phase import wrap_phase_signed
+from repro.errors import CalibrationError, ConfigurationError, InsufficientDataError
+from repro.hardware.llrp import ReportBatch
+from repro.hardware.reader import StaticTagUnit
+
+
+@dataclass
+class BackposLocalizer(ReaderLocalizer):
+    """Hyperbolic positioning from pairwise reference-tag phase differences."""
+
+    reference_units: Sequence[StaticTagUnit]
+    wavelength: float = 0.325
+    x_range: Tuple[float, float] = (-2.5, 2.5)
+    y_range: Tuple[float, float] = (0.5, 3.0)
+    #: The residual landscape has ambiguity basins only ~lambda/4 wide in
+    #: range difference (a few cm in position), so the coarse grid must be
+    #: finer than a basin or the search aliases onto a wrong lobe.
+    coarse_spacing: float = 0.03
+    fine_spacing: float = 0.005
+
+    name: str = "BackPos"
+
+    def __post_init__(self) -> None:
+        if len(self.reference_units) < 3:
+            raise ConfigurationError(
+                "BackPos needs at least three reference tags"
+            )
+        self._positions: Dict[str, Point3] = {
+            unit.tag.epc: unit.location for unit in self.reference_units
+        }
+        self._pairs: List[Tuple[str, str]] = list(
+            itertools.combinations(sorted(self._positions), 2)
+        )
+        self._offsets: Optional[Dict[Tuple[str, str], float]] = None
+
+    # ------------------------------------------------------------------
+    # Offset calibration (known reader pose, done once at deployment)
+    # ------------------------------------------------------------------
+    def calibrate_offsets(
+        self, batch: ReportBatch, reader_position: Point2, antenna_port: int = 1
+    ) -> None:
+        """Learn the per-pair diversity offset from a known reader pose."""
+        measured = self._pair_differences(batch, antenna_port)
+        offsets: Dict[Tuple[str, str], float] = {}
+        for pair, value in measured.items():
+            expected = self._expected_difference(pair, reader_position)
+            offsets[pair] = float(wrap_phase_signed(value - expected))
+        self._offsets = offsets
+
+    def _expected_difference(
+        self, pair: Tuple[str, str], position: Point2
+    ) -> float:
+        point = Point3(position.x, position.y, 0.0)
+        d_a = point.distance_to(self._positions[pair[0]])
+        d_b = point.distance_to(self._positions[pair[1]])
+        return 4.0 * math.pi / self.wavelength * (d_a - d_b)
+
+    def _pair_differences(
+        self, batch: ReportBatch, antenna_port: int
+    ) -> Dict[Tuple[str, str], float]:
+        """Wrapped phase difference per reference-tag pair, averaged over
+        the channels both tags were read on."""
+        phases = mean_phase_per_tag_channel(batch, antenna_port)
+        by_tag: Dict[str, Dict[int, float]] = {}
+        for (epc, channel), value in phases.items():
+            by_tag.setdefault(epc, {})[channel] = value
+        differences: Dict[Tuple[str, str], float] = {}
+        for pair in self._pairs:
+            a, b = pair
+            if a not in by_tag or b not in by_tag:
+                continue
+            shared = sorted(set(by_tag[a]) & set(by_tag[b]))
+            if not shared:
+                continue
+            vector = np.mean(
+                [
+                    np.exp(1j * (by_tag[a][c] - by_tag[b][c]))
+                    for c in shared
+                ]
+            )
+            differences[pair] = float(np.angle(vector))
+        if len(differences) < 2:
+            raise InsufficientDataError(
+                "too few reference-tag pairs with shared channels"
+            )
+        return differences
+
+    # ------------------------------------------------------------------
+    # Localization
+    # ------------------------------------------------------------------
+    def locate(
+        self,
+        batch: ReportBatch,
+        antenna_port: int = 1,
+        prior_center: Optional[Point2] = None,
+        prior_radius: float = 0.6,
+    ) -> BaselineFix:
+        """Locate the reader; an optional coarse prior bounds the search.
+
+        The lambda/2 range-difference ambiguity makes the residual landscape
+        multi-lobed; the published system handles this by restricting the
+        target to a *feasible region* around the antennas.  The equivalent
+        here is ``prior_center``/``prior_radius`` — typically an RSSI-grade
+        coarse fix — outside of which lobes are not considered.
+        """
+        if self._offsets is None:
+            raise CalibrationError(
+                "BackPos offsets not calibrated; call calibrate_offsets first"
+            )
+        measured = self._pair_differences(batch, antenna_port)
+        usable = [pair for pair in measured if pair in self._offsets]
+        if len(usable) < 2:
+            raise InsufficientDataError("too few calibrated pairs observed")
+
+        corrected = {
+            pair: float(wrap_phase_signed(measured[pair] - self._offsets[pair]))
+            for pair in usable
+        }
+
+        if prior_center is not None:
+            x_range = (
+                max(self.x_range[0], prior_center.x - prior_radius),
+                min(self.x_range[1], prior_center.x + prior_radius),
+            )
+            y_range = (
+                max(self.y_range[0], prior_center.y - prior_radius),
+                min(self.y_range[1], prior_center.y + prior_radius),
+            )
+        else:
+            x_range, y_range = self.x_range, self.y_range
+        coarse = candidate_grid(x_range, y_range, self.coarse_spacing)
+        best = min(coarse, key=lambda p: self._residual(p, corrected))
+        fine = candidate_grid(
+            (best.x - self.coarse_spacing, best.x + self.coarse_spacing),
+            (best.y - self.coarse_spacing, best.y + self.coarse_spacing),
+            self.fine_spacing,
+        )
+        refined = min(fine, key=lambda p: self._residual(p, corrected))
+        return BaselineFix(
+            position=refined, score=self._residual(refined, corrected)
+        )
+
+    def _residual(
+        self, position: Point2, corrected: Dict[Tuple[str, str], float]
+    ) -> float:
+        """RMS wrapped phase-difference residual at a candidate position."""
+        residuals = []
+        for pair, value in corrected.items():
+            expected = self._expected_difference(pair, position)
+            residuals.append(float(wrap_phase_signed(value - expected)))
+        return float(np.sqrt(np.mean(np.square(residuals))))

@@ -1,0 +1,112 @@
+"""Common infrastructure for the baseline reader-localization systems.
+
+The paper compares Tagspin against four published systems (LandMARC,
+AntLoc, PinIt, BackPos).  All four were designed to localize *tags* (except
+AntLoc); here each is adapted to the dual reader-localization problem while
+keeping its algorithmic core intact — the adaptation is documented in each
+module.  Every baseline runs on the same simulated physical substrate as
+Tagspin, so the comparison is live rather than quoted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import Point2, Point3
+from repro.errors import InsufficientDataError
+from repro.hardware.llrp import ReportBatch
+from repro.hardware.reader import StaticTagUnit
+
+
+@dataclass(frozen=True)
+class BaselineFix:
+    """A baseline's position estimate with a quality score (lower = better)."""
+
+    position: Point2
+    score: float
+
+
+class ReaderLocalizer(ABC):
+    """A system that estimates the reader position from reference-tag reads."""
+
+    #: Human-readable system name (used in benchmark tables).
+    name: str = "baseline"
+
+    @abstractmethod
+    def locate(self, batch: ReportBatch, antenna_port: int = 1) -> BaselineFix:
+        """Estimate the reader-antenna position from a report stream."""
+
+
+def mean_rssi_per_tag(
+    batch: ReportBatch, antenna_port: int = 1
+) -> Dict[str, float]:
+    """Average reported RSSI per EPC [dBm], in the linear power domain."""
+    powers: Dict[str, List[float]] = {}
+    for report in batch.reports:
+        if report.antenna_port != antenna_port:
+            continue
+        powers.setdefault(report.epc, []).append(report.rssi_dbm)
+    if not powers:
+        raise InsufficientDataError("no reports on the requested antenna")
+    return {
+        epc: float(
+            10.0 * np.log10(np.mean(np.power(10.0, np.asarray(vals) / 10.0)))
+        )
+        for epc, vals in powers.items()
+    }
+
+
+def mean_phase_per_tag_channel(
+    batch: ReportBatch, antenna_port: int = 1
+) -> Dict[Tuple[str, int], float]:
+    """Circular-mean phase per (EPC, channel) [rad]."""
+    phases: Dict[Tuple[str, int], List[float]] = {}
+    for report in batch.reports:
+        if report.antenna_port != antenna_port:
+            continue
+        phases.setdefault((report.epc, report.channel_index), []).append(
+            report.phase_rad
+        )
+    if not phases:
+        raise InsufficientDataError("no reports on the requested antenna")
+    return {
+        key: float(np.angle(np.mean(np.exp(1j * np.asarray(vals)))))
+        for key, vals in phases.items()
+    }
+
+
+def candidate_grid(
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+    spacing: float,
+) -> List[Point2]:
+    """A rectangular grid of candidate positions."""
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xs = np.arange(x_range[0], x_range[1] + spacing / 2.0, spacing)
+    ys = np.arange(y_range[0], y_range[1] + spacing / 2.0, spacing)
+    return [Point2(float(x), float(y)) for y in ys for x in xs]
+
+
+def weighted_centroid(
+    points: Sequence[Point2], weights: Sequence[float]
+) -> Point2:
+    """Weight-averaged position (the kNN fusion rule of LandMARC/PinIt)."""
+    weights = np.asarray(weights, dtype=float)
+    if len(points) == 0 or weights.size != len(points):
+        raise ValueError("points and weights must be non-empty and matching")
+    total = float(np.sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    x = sum(w * p.x for w, p in zip(weights, points)) / total
+    y = sum(w * p.y for w, p in zip(weights, points)) / total
+    return Point2(float(x), float(y))
+
+
+def reference_positions(units: Sequence[StaticTagUnit]) -> Dict[str, Point3]:
+    """EPC -> known location map of the reference-tag infrastructure."""
+    return {unit.tag.epc: unit.location for unit in units}

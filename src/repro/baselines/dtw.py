@@ -1,0 +1,69 @@
+"""Dynamic time warping on feature sequences.
+
+PinIt compares multipath profiles with DTW because profiles measured at
+nearby positions are similar in *shape* but locally stretched.  This is a
+standard O(n*m) DTW with an optional Sakoe-Chiba band; distances between
+elements are Euclidean in feature space (elements may be vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: Optional[int] = None,
+) -> float:
+    """DTW distance between sequences ``a`` (n x d) and ``b`` (m x d).
+
+    1D inputs are treated as sequences of scalars.  ``band`` constrains the
+    warping path to ``|i - j| <= band`` (Sakoe-Chiba); ``None`` means
+    unconstrained.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[0] == 1 and a.shape[1] > 1 and a.ndim == 2:
+        # A 1D vector arrived as a row; make it a column sequence.
+        a = a.T
+    if b.shape[0] == 1 and b.shape[1] > 1 and b.ndim == 2:
+        b = b.T
+    n, m = a.shape[0], b.shape[0]
+    if n == 0 or m == 0:
+        raise ValueError("sequences must be non-empty")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("sequences must share feature dimension")
+    if band is not None and band < 0:
+        raise ValueError("band must be non-negative")
+
+    # Pairwise element costs.
+    cost = np.linalg.norm(a[:, np.newaxis, :] - b[np.newaxis, :, :], axis=2)
+
+    accumulated = np.full((n + 1, m + 1), np.inf)
+    accumulated[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if band is None:
+            j_low, j_high = 1, m
+        else:
+            center = int(round(i * m / n))
+            j_low = max(1, center - band)
+            j_high = min(m, center + band)
+        for j in range(j_low, j_high + 1):
+            step = min(
+                accumulated[i - 1, j],
+                accumulated[i, j - 1],
+                accumulated[i - 1, j - 1],
+            )
+            accumulated[i, j] = cost[i - 1, j - 1] + step
+    return float(accumulated[n, m])
+
+
+def dtw_normalized(a: np.ndarray, b: np.ndarray, band: Optional[int] = None) -> float:
+    """DTW distance normalized by the summed sequence lengths."""
+    a = np.atleast_1d(np.asarray(a, dtype=float))
+    b = np.atleast_1d(np.asarray(b, dtype=float))
+    length = a.shape[0] + b.shape[0]
+    return dtw_distance(a, b, band) / length

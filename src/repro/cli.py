@@ -1,0 +1,206 @@
+"""Command-line interface: ``tagspin <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``locate2d`` / ``locate3d``
+    Run one simulated localization at a given reader pose and print the
+    fix, the error and the per-disk bearings.
+``trials``
+    Run a batch of random poses and print the error statistics.
+``compare``
+    Run the Tagspin-vs-baselines comparison table.
+``tags``
+    Print the Table I tag-model registry.
+``plan``
+    Print the predicted-accuracy map for a two-disk layout.
+``health``
+    Simulate a collection and print the deployment health table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.geometry import Point2, Point3
+from repro.hardware.tags import TABLE_I
+from repro.sim.comparison import BaselineComparison, format_comparison_table
+from repro.sim.runner import run_trials_2d, run_trials_3d
+from repro.sim.scenario import paper_default_scenario
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+
+def _cmd_locate2d(args: argparse.Namespace) -> int:
+    scenario = paper_default_scenario(seed=args.seed)
+    scenario.run_orientation_prelude()
+    fix, error = scenario.locate_2d(Point2(args.x, args.y))
+    print(f"true pose : ({args.x:.3f}, {args.y:.3f}) m")
+    print(f"estimate  : ({fix.position.x:.3f}, {fix.position.y:.3f}) m")
+    print(f"error     : {error.combined * 100:.2f} cm "
+          f"(x {error.x * 100:.2f}, y {error.y * 100:.2f})")
+    print(f"residual  : {fix.residual * 100:.3f} cm, "
+          f"confidence {fix.confidence:.3f}")
+    return 0
+
+
+def _cmd_locate3d(args: argparse.Namespace) -> int:
+    scenario = paper_default_scenario(seed=args.seed, three_d=True)
+    scenario.run_orientation_prelude()
+    fix, error = scenario.locate_3d(Point3(args.x, args.y, args.z))
+    print(f"true pose : ({args.x:.3f}, {args.y:.3f}, {args.z:.3f}) m")
+    print(
+        f"estimate  : ({fix.position.x:.3f}, {fix.position.y:.3f}, "
+        f"{fix.position.z:.3f}) m"
+    )
+    print(
+        f"mirror    : ({fix.mirror.x:.3f}, {fix.mirror.y:.3f}, "
+        f"{fix.mirror.z:.3f}) m"
+    )
+    assert error.z is not None
+    print(
+        f"error     : {error.combined * 100:.2f} cm "
+        f"(x {error.x * 100:.2f}, y {error.y * 100:.2f}, z {error.z * 100:.2f})"
+    )
+    return 0
+
+
+def _cmd_trials(args: argparse.Namespace) -> int:
+    scenario = paper_default_scenario(seed=args.seed, three_d=args.three_d)
+    runner = run_trials_3d if args.three_d else run_trials_2d
+    batch = runner(scenario, trials=args.trials, seed=args.seed + 100)
+    stats = batch.summary().as_centimeters()
+    label = "3D" if args.three_d else "2D"
+    print(f"{label} localization over {batch.trials} poses "
+          f"({batch.failures} failures):")
+    for key, value in stats.items():
+        print(f"  {key:>10}: {value:.2f}" if key != "count" else
+              f"  {key:>10}: {int(value)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = BaselineComparison(
+        paper_default_scenario(seed=args.seed), seed=args.seed + 1
+    )
+    comparison.calibrate()
+    results = comparison.run(trials=args.trials)
+    print(format_comparison_table(results))
+    return 0
+
+
+def _cmd_tags(_args: argparse.Namespace) -> int:
+    header = (
+        f"{'key':>10} | {'model':>9} | {'name':>10} | {'chip':>8} | "
+        f"{'size (mm)':>13} | pp [rad]"
+    )
+    print(header)
+    print("-" * len(header))
+    for key, model in TABLE_I.items():
+        size = f"{model.size_mm[0]:.1f}x{model.size_mm[1]:.1f}"
+        print(
+            f"{key:>10} | {model.model_number:>9} | {model.name:>10} | "
+            f"{model.chip:>8} | {size:>13} | {model.orientation_pp_rad:.2f}"
+        )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.geometry import Point2 as P2
+    from repro.sim.planning import PlannedDisk, accuracy_map
+
+    half = args.distance / 2.0
+    disks = [PlannedDisk(P2(-half, 0.0)), PlannedDisk(P2(half, 0.0))]
+    grid = accuracy_map(
+        disks, (-2.0, 2.0), (0.5, 3.0), resolution=args.resolution
+    )
+    print(f"predicted RMSE map [cm], disks {args.distance * 100:.0f} cm apart:")
+    print("      " + " ".join(f"{x:+5.1f}" for x in grid.xs))
+    for i, y in enumerate(grid.ys):
+        cells = " ".join(
+            f"{v * 100:5.1f}" if np.isfinite(v) else "    -"
+            for v in grid.rmse[i]
+        )
+        print(f"y={y:+4.1f} {cells}")
+    print(
+        f"coverage with RMSE <= 5 cm: "
+        f"{grid.coverage_fraction(0.05) * 100:.0f}%"
+    )
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.core.geometry import Point3
+    from repro.server.health import DeploymentMonitor, format_health_table
+
+    scenario = paper_default_scenario(seed=args.seed)
+    scenario.run_orientation_prelude()
+    batch, _reader = scenario.collect(Point3(args.x, args.y, 0.0))
+    monitor = DeploymentMonitor(scenario.scene.registry)
+    print(format_health_table(list(monitor.check_all(batch).values())))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tagspin",
+        description="Tagspin RFID reader localization (ICDCS 2016 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p2 = subparsers.add_parser("locate2d", help="one 2D localization")
+    p2.add_argument("x", type=float, help="reader x [m]")
+    p2.add_argument("y", type=float, help="reader y [m]")
+    _add_common(p2)
+    p2.set_defaults(func=_cmd_locate2d)
+
+    p3 = subparsers.add_parser("locate3d", help="one 3D localization")
+    p3.add_argument("x", type=float)
+    p3.add_argument("y", type=float)
+    p3.add_argument("z", type=float)
+    _add_common(p3)
+    p3.set_defaults(func=_cmd_locate3d)
+
+    pt = subparsers.add_parser("trials", help="random-pose error statistics")
+    pt.add_argument("--trials", type=int, default=20)
+    pt.add_argument("--three-d", action="store_true")
+    _add_common(pt)
+    pt.set_defaults(func=_cmd_trials)
+
+    pc = subparsers.add_parser("compare", help="Tagspin vs baselines")
+    pc.add_argument("--trials", type=int, default=8)
+    _add_common(pc)
+    pc.set_defaults(func=_cmd_compare)
+
+    pg = subparsers.add_parser("tags", help="print the Table I tag models")
+    pg.set_defaults(func=_cmd_tags)
+
+    pp = subparsers.add_parser("plan", help="predicted-accuracy map")
+    pp.add_argument("--distance", type=float, default=0.5,
+                    help="disk-center distance [m]")
+    pp.add_argument("--resolution", type=float, default=0.5,
+                    help="map grid resolution [m]")
+    pp.set_defaults(func=_cmd_plan)
+
+    ph = subparsers.add_parser("health", help="deployment health table")
+    ph.add_argument("--x", type=float, default=0.4, help="reader x [m]")
+    ph.add_argument("--y", type=float, default=1.9, help="reader y [m]")
+    _add_common(ph)
+    ph.set_defaults(func=_cmd_health)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

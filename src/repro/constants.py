@@ -1,0 +1,98 @@
+"""Physical constants and canonical Tagspin parameters.
+
+The OCR of the paper dropped most numerals, so every constant that the
+algorithms or the evaluation depend on is pinned here with the assumed
+canonical value.  ``EXPERIMENTS.md`` records the mapping from each constant
+back to the sentence in the paper it was inferred from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Lower edge of the Chinese UHF RFID band the paper operates in [Hz].
+BAND_LOW_HZ = 920.5e6
+
+#: Upper edge of the Chinese UHF RFID band [Hz].
+BAND_HIGH_HZ = 924.5e6
+
+#: Number of frequency-hopping channels the simulated reader uses.
+NUM_CHANNELS = 16
+
+#: Center frequency used when frequency hopping is disabled [Hz].
+DEFAULT_FREQUENCY_HZ = 922.5e6
+
+#: Wavelength at the default center frequency [m] (~32.5 cm).
+DEFAULT_WAVELENGTH_M = SPEED_OF_LIGHT / DEFAULT_FREQUENCY_HZ
+
+#: Standard deviation of a single phase measurement [rad].  The paper adopts
+#: this Gaussian model ("a typical Gaussian distribution with a standard
+#: deviation of 0.1 radians", after Tagoram).
+PHASE_NOISE_STD_RAD = 0.1
+
+#: Standard deviation used in the enhanced power profile weights.  The
+#: difference of two independent phase measurements has variance ``2 sigma^2``
+#: (Definition 4.1 in the paper).
+RELATIVE_PHASE_STD_RAD = PHASE_NOISE_STD_RAD * np.sqrt(2.0)
+
+#: Default radius of the spinning disk [m].  The paper's radius sweep runs
+#: 2-20 cm with a sweet spot of [8, 14] cm and 10 cm as the default.
+DEFAULT_DISK_RADIUS_M = 0.10
+
+#: Default angular speed of the disk [rad/s].
+DEFAULT_ANGULAR_SPEED_RAD_S = 1.0
+
+#: Default distance between the two disk centers [m] (sweep 20-80 cm,
+#: stable above ~30 cm, 50 cm chosen for space efficiency).
+DEFAULT_CENTER_DISTANCE_M = 0.50
+
+#: Peak-to-peak magnitude of the orientation-induced phase offset [rad]
+#: ("the phase exhibits a small fluctuation (~0.7 radians) as rotating").
+ORIENTATION_PHASE_PP_RAD = 0.7
+
+#: Office room footprint used in the evaluation [m] (W x L); the paper's
+#: room dimensions were lost to OCR, a 9 m x 6 m office is assumed.
+ROOM_WIDTH_M = 9.0
+ROOM_LENGTH_M = 6.0
+ROOM_HEIGHT_M = 3.0
+
+#: Default aggregate tag read rate of the simulated reader [reads/s].
+DEFAULT_READ_RATE_HZ = 40.0
+
+#: Default number of full disk rotations sampled per localization.
+DEFAULT_NUM_ROTATIONS = 2.0
+
+#: Default angle-grid resolution for azimuth spectra [rad] (0.5 degrees).
+DEFAULT_AZIMUTH_RESOLUTION_RAD = np.deg2rad(0.5)
+
+#: Default coarse angle-grid resolution for polar spectra [rad] (2 degrees;
+#: the joint search refines locally around the coarse peak).
+DEFAULT_POLAR_RESOLUTION_RAD = np.deg2rad(2.0)
+
+
+def wavelength_for_frequency(frequency_hz: float) -> float:
+    """Return the free-space wavelength [m] for ``frequency_hz`` [Hz]."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def channel_frequencies(
+    num_channels: int = NUM_CHANNELS,
+    band_low_hz: float = BAND_LOW_HZ,
+    band_high_hz: float = BAND_HIGH_HZ,
+) -> np.ndarray:
+    """Return the center frequencies [Hz] of the hop table.
+
+    Channels are evenly spaced across the band, inset by half a channel
+    spacing from each edge (the usual regulatory layout).
+    """
+    if num_channels < 1:
+        raise ValueError("need at least one channel")
+    if band_high_hz <= band_low_hz:
+        raise ValueError("band_high_hz must exceed band_low_hz")
+    spacing = (band_high_hz - band_low_hz) / num_channels
+    return band_low_hz + spacing * (np.arange(num_channels) + 0.5)

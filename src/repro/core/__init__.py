@@ -1,0 +1,1 @@
+"""The paper's primary contribution: phase models, calibration, spectra, localization."""

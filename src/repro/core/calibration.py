@@ -1,0 +1,244 @@
+"""Phase calibration: device diversity and tag orientation (Section III-B).
+
+Two systematic effects contaminate the raw phase reports:
+
+* **Device diversity** ``theta_div`` — a constant per-link offset caused by
+  reader/antenna/tag hardware.  It cancels whenever phases are referenced to
+  the first snapshot of the same series (Eqn 7), which is how the spectrum
+  stage consumes phases; :func:`estimate_diversity` additionally recovers the
+  constant explicitly for diagnostics (Fig 4b).
+
+* **Tag orientation** — the tag antenna is never perfectly symmetric, so the
+  measured phase depends on the angle ``rho`` between the tag plane and the
+  line to the reader (~0.7 rad peak-to-peak, Fig 5).  The paper's Observation
+  3.1 states the relationship is stable and "can be fitted ... using Fourier
+  series".  The workflow is:
+
+  1. *Acquire* — spin the tag mounted at the **center** of the disk (its
+     distance to the reader is then constant, so any phase variation is pure
+     orientation effect) and fit a :class:`FourierSeries` to phase vs
+     orientation.
+  2. *Calibrate* — for edge-mounted measurements, subtract the fitted offset
+     at each sample's orientation, referenced to the offset at
+     ``rho = pi/2`` (the paper's reference orientation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.phase import (
+    circular_mean,
+    smooth_phase_sequence,
+    wrap_phase_signed,
+)
+from repro.errors import CalibrationError
+
+REFERENCE_ORIENTATION_RAD = np.pi / 2.0
+
+
+@dataclass(frozen=True)
+class FourierSeries:
+    """A real Fourier series ``a0 + sum_k a_k cos(k x) + b_k sin(k x)``."""
+
+    a0: float
+    cosine: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    sine: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self) -> None:
+        cosine = np.asarray(self.cosine, dtype=float)
+        sine = np.asarray(self.sine, dtype=float)
+        if cosine.shape != sine.shape or cosine.ndim != 1:
+            raise ValueError("cosine and sine coefficient arrays must match in shape")
+        object.__setattr__(self, "cosine", cosine)
+        object.__setattr__(self, "sine", sine)
+
+    @property
+    def order(self) -> int:
+        return int(self.cosine.size)
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        x = np.asarray(x, dtype=float)
+        harmonics = np.arange(1, self.order + 1)
+        angles = np.multiply.outer(x, harmonics)
+        value = self.a0 + np.cos(angles) @ self.cosine + np.sin(angles) @ self.sine
+        return value if value.ndim else float(value)
+
+    def peak_to_peak(self, resolution: int = 3600) -> float:
+        """Peak-to-peak amplitude over one period, on a dense grid."""
+        grid = np.linspace(0.0, 2.0 * np.pi, resolution, endpoint=False)
+        values = self(grid)
+        return float(np.max(values) - np.min(values))
+
+
+def fit_fourier_series(
+    x: np.ndarray, y: np.ndarray, order: int
+) -> FourierSeries:
+    """Least-squares fit of a Fourier series of ``order`` harmonics.
+
+    Parameters
+    ----------
+    x : sample abscissae [rad]
+    y : sample values
+    order : number of harmonics (>= 1)
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be matching 1D arrays")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if x.size < 2 * order + 1:
+        raise CalibrationError(
+            f"need at least {2 * order + 1} samples to fit order-{order} series, "
+            f"got {x.size}"
+        )
+    harmonics = np.arange(1, order + 1)
+    angles = np.multiply.outer(x, harmonics)
+    design = np.hstack([np.ones((x.size, 1)), np.cos(angles), np.sin(angles)])
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    return FourierSeries(
+        a0=float(coefficients[0]),
+        cosine=coefficients[1 : order + 1],
+        sine=coefficients[order + 1 :],
+    )
+
+
+def estimate_diversity(
+    measured: np.ndarray, theoretical: np.ndarray
+) -> float:
+    """Estimate the constant diversity offset between two phase sequences.
+
+    Uses the circular mean of the wrapped residuals, which is robust to the
+    mod-2*pi structure of the raw reports (Fig 4b's ~constant misalignment).
+    """
+    measured = np.asarray(measured, dtype=float)
+    theoretical = np.asarray(theoretical, dtype=float)
+    if measured.shape != theoretical.shape or measured.size == 0:
+        raise ValueError("sequences must be non-empty and matching in shape")
+    return circular_mean(measured - theoretical)
+
+
+@dataclass(frozen=True)
+class OrientationProfile:
+    """Fitted phase-vs-orientation correction for one tag (or tag model).
+
+    ``offset(rho)`` is the phase the tag adds at orientation ``rho``; the
+    correction applied to a measurement is referenced to the offset at the
+    paper's reference orientation ``rho = pi/2``.
+    """
+
+    series: FourierSeries
+
+    def offset(self, orientation: np.ndarray | float) -> np.ndarray | float:
+        return self.series(orientation)
+
+    def correction(self, orientation: np.ndarray | float) -> np.ndarray | float:
+        """Amount to subtract from a phase measured at ``orientation``."""
+        return self.offset(orientation) - self.offset(REFERENCE_ORIENTATION_RAD)
+
+    def apply(
+        self, phases: np.ndarray, orientations: np.ndarray
+    ) -> np.ndarray:
+        """Return ``phases`` with the orientation-induced offset removed."""
+        phases = np.asarray(phases, dtype=float)
+        orientations = np.asarray(orientations, dtype=float)
+        if phases.shape != orientations.shape:
+            raise ValueError("phases and orientations must match in shape")
+        return phases - self.correction(orientations)
+
+
+class OrientationCalibrator:
+    """Implements the paper's two-step orientation calibration workflow."""
+
+    def __init__(self, fourier_order: int = 3) -> None:
+        if fourier_order < 1:
+            raise ValueError("fourier_order must be >= 1")
+        self.fourier_order = fourier_order
+
+    def fit_from_center_spin(
+        self,
+        orientations: np.ndarray,
+        phases: np.ndarray,
+    ) -> OrientationProfile:
+        """Step 1: fit the phase-orientation function from a center-mounted spin.
+
+        ``phases`` are raw (wrapped) reports taken while the tag sits at the
+        disk center, so the geometric phase is constant and the sequence's
+        variation is the orientation effect plus noise.  The constant part
+        (geometry + diversity) is removed by centering the smoothed sequence.
+        """
+        orientations = np.asarray(orientations, dtype=float)
+        phases = np.asarray(phases, dtype=float)
+        if orientations.shape != phases.shape or orientations.ndim != 1:
+            raise ValueError("orientations and phases must be matching 1D arrays")
+        order = np.argsort(orientations)
+        smoothed = smooth_phase_sequence(phases[order])
+        centered = smoothed - np.mean(smoothed)
+        series = fit_fourier_series(
+            orientations[order], centered, self.fourier_order
+        )
+        # Drop the fitted constant: only the shape matters, the reference
+        # orientation anchors the correction.
+        anchored = FourierSeries(a0=0.0, cosine=series.cosine, sine=series.sine)
+        return OrientationProfile(series=anchored)
+
+    def calibrate(
+        self,
+        profile: OrientationProfile,
+        phases: np.ndarray,
+        orientations: np.ndarray,
+    ) -> np.ndarray:
+        """Step 2: erase the orientation offset from edge-mounted phases."""
+        return profile.apply(phases, orientations)
+
+
+def residual_rms(
+    measured: np.ndarray, theoretical: np.ndarray, remove_constant: bool = True
+) -> float:
+    """RMS of the wrapped residual between two phase sequences.
+
+    Used by the Fig 4 benchmarks to quantify how much each calibration stage
+    tightens the match against ground truth.  With ``remove_constant`` the
+    circular-mean offset (device diversity) is removed first.
+    """
+    measured = np.asarray(measured, dtype=float)
+    theoretical = np.asarray(theoretical, dtype=float)
+    residual = measured - theoretical
+    if remove_constant:
+        residual = residual - circular_mean(residual)
+    wrapped = wrap_phase_signed(residual)
+    return float(np.sqrt(np.mean(np.square(wrapped))))
+
+
+def make_orientation_profile(
+    amplitudes: np.ndarray,
+    phases: np.ndarray,
+) -> OrientationProfile:
+    """Construct a profile directly from per-harmonic amplitude/phase pairs.
+
+    Convenience for tests and for synthesizing ground-truth profiles:
+    harmonic ``k`` contributes ``amplitudes[k-1] * cos(k*rho - phases[k-1])``.
+    """
+    amplitudes = np.asarray(amplitudes, dtype=float)
+    phases = np.asarray(phases, dtype=float)
+    if amplitudes.shape != phases.shape or amplitudes.ndim != 1:
+        raise ValueError("amplitudes and phases must be matching 1D arrays")
+    cosine = amplitudes * np.cos(phases)
+    sine = amplitudes * np.sin(phases)
+    return OrientationProfile(FourierSeries(a0=0.0, cosine=cosine, sine=sine))
+
+
+def profile_distance(
+    a: OrientationProfile, b: OrientationProfile, resolution: int = 720
+) -> float:
+    """RMS difference between two orientation profiles' *corrections*.
+
+    Compares corrections rather than raw offsets so the arbitrary constant
+    anchor does not contribute.
+    """
+    grid = np.linspace(0.0, 2.0 * np.pi, resolution, endpoint=False)
+    return float(
+        np.sqrt(np.mean(np.square(a.correction(grid) - b.correction(grid))))
+    )

@@ -1,0 +1,244 @@
+"""Planar and spatial geometry used by Tagspin.
+
+The localization stage of the paper reduces to line geometry: every spinning
+tag yields a bearing (azimuth ``phi``, optionally polar angle ``gamma``) from
+its disk center toward the reader.  Two or more bearings are intersected to
+recover the reader position (Eqn 9 for the two-line 2D case; we additionally
+provide the least-squares generalization for N lines, used when more than two
+disks are deployed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AmbiguityError
+
+#: Two lines whose directions differ by less than this [rad] are treated as
+#: parallel and refused rather than intersected at an absurd coordinate.
+PARALLEL_TOLERANCE_RAD = 1e-6
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap ``angle`` to ``[0, 2*pi)``."""
+    wrapped = float(np.mod(angle, 2.0 * math.pi))
+    # np.mod of a tiny negative value rounds to exactly 2*pi; fold it back.
+    return 0.0 if wrapped >= 2.0 * math.pi else wrapped
+
+
+def wrap_angle_signed(angle):
+    """Wrap angle(s) to ``(-pi, pi]``; accepts scalars or arrays."""
+    values = np.asarray(angle, dtype=float)
+    wrapped = -np.mod(-values + math.pi, 2.0 * math.pi) + math.pi
+    if values.ndim == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def angular_difference(a: float, b: float) -> float:
+    """Smallest absolute difference between two angles [rad], in ``[0, pi]``."""
+    return abs(wrap_angle_signed(a - b))
+
+
+@dataclass(frozen=True)
+class Point2:
+    """A point in the horizontal plane [m]."""
+
+    x: float
+    y: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y], dtype=float)
+
+    def distance_to(self, other: "Point2") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def bearing_to(self, other: "Point2") -> float:
+        """Azimuth [rad, in ``[0, 2*pi)``] of ``other`` as seen from ``self``."""
+        return wrap_angle(math.atan2(other.y - self.y, other.x - self.x))
+
+    def translated(self, dx: float, dy: float) -> "Point2":
+        return Point2(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Point3:
+    """A point in 3D space [m]."""
+
+    x: float
+    y: float
+    z: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    def distance_to(self, other: "Point3") -> float:
+        return float(
+            math.sqrt(
+                (self.x - other.x) ** 2
+                + (self.y - other.y) ** 2
+                + (self.z - other.z) ** 2
+            )
+        )
+
+    def horizontal(self) -> Point2:
+        """Projection onto the z=0 plane."""
+        return Point2(self.x, self.y)
+
+    def azimuth_to(self, other: "Point3") -> float:
+        """Azimuth [rad] of ``other`` seen from ``self`` in the x-y plane."""
+        return wrap_angle(math.atan2(other.y - self.y, other.x - self.x))
+
+    def polar_to(self, other: "Point3") -> float:
+        """Polar (elevation) angle [rad, in ``[-pi/2, pi/2]``] to ``other``.
+
+        Matches the paper's ``gamma``: the angle between the line to the
+        target and its projection on the horizontal plane.
+        """
+        horizontal = math.hypot(other.x - self.x, other.y - self.y)
+        return math.atan2(other.z - self.z, horizontal)
+
+
+@dataclass(frozen=True)
+class Bearing2D:
+    """A 2D bearing: origin plus azimuth toward the target."""
+
+    origin: Point2
+    azimuth: float
+
+    def direction(self) -> np.ndarray:
+        return np.array([math.cos(self.azimuth), math.sin(self.azimuth)])
+
+    def point_at(self, distance: float) -> Point2:
+        d = self.direction()
+        return Point2(self.origin.x + distance * d[0], self.origin.y + distance * d[1])
+
+
+@dataclass(frozen=True)
+class Bearing3D:
+    """A 3D bearing: origin, azimuth ``phi`` and polar angle ``gamma``."""
+
+    origin: Point3
+    azimuth: float
+    polar: float
+
+    def horizontal(self) -> Bearing2D:
+        return Bearing2D(self.origin.horizontal(), self.azimuth)
+
+
+def intersect_bearings_2d(a: Bearing2D, b: Bearing2D) -> Point2:
+    """Intersect two bearings in the plane (Eqn 9 of the paper).
+
+    Raises :class:`AmbiguityError` when the bearings are (near-)parallel,
+    in which case no finite intersection exists.
+    """
+    sep = angular_difference(a.azimuth, b.azimuth)
+    if sep < PARALLEL_TOLERANCE_RAD or abs(sep - math.pi) < PARALLEL_TOLERANCE_RAD:
+        raise AmbiguityError(
+            f"bearings are parallel (azimuths {a.azimuth:.6f} and {b.azimuth:.6f} rad)"
+        )
+    # Solve origin_a + s * dir_a = origin_b + t * dir_b.
+    da, db = a.direction(), b.direction()
+    matrix = np.column_stack([da, -db])
+    rhs = b.origin.as_array() - a.origin.as_array()
+    s, _t = np.linalg.solve(matrix, rhs)
+    hit = a.origin.as_array() + s * da
+    return Point2(float(hit[0]), float(hit[1]))
+
+
+def least_squares_intersection(bearings: Sequence[Bearing2D]) -> Point2:
+    """Least-squares intersection of ``N >= 2`` bearings.
+
+    Each bearing contributes the constraint that the solution lies on its
+    line; the normal-equation solution minimizes the sum of squared
+    perpendicular distances to all lines.  This is the natural fusion rule
+    when more than two spinning tags are deployed.
+    """
+    if len(bearings) < 2:
+        raise ValueError("need at least two bearings to intersect")
+    # Line through origin o with unit direction d: (I - d d^T) (p - o) = 0.
+    accumulator = np.zeros((2, 2))
+    rhs = np.zeros(2)
+    for bearing in bearings:
+        d = bearing.direction()
+        projector = np.eye(2) - np.outer(d, d)
+        accumulator += projector
+        rhs += projector @ bearing.origin.as_array()
+    try:
+        solution = np.linalg.solve(accumulator, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise AmbiguityError("all bearings are parallel") from exc
+    # A nearly singular system (all lines almost parallel) produces wild
+    # coordinates; detect it via the condition number instead of letting a
+    # garbage answer through.
+    if np.linalg.cond(accumulator) > 1e8:
+        raise AmbiguityError("bearings are too close to parallel to intersect")
+    return Point2(float(solution[0]), float(solution[1]))
+
+
+def height_from_polar(
+    origin: Point3, target_xy: Point2, polar: float
+) -> float:
+    """Height implied by one polar angle (Eqn 13a/13b of the paper).
+
+    ``z = z_origin + horizontal_distance(origin, target) * tan(gamma)``.
+    """
+    horizontal = math.hypot(target_xy.x - origin.x, target_xy.y - origin.y)
+    return origin.z + horizontal * math.tan(polar)
+
+
+def fuse_heights(heights: Iterable[float]) -> float:
+    """Balance per-disk height estimates (the paper averages Eqns 13a/13b)."""
+    values = list(heights)
+    if not values:
+        raise ValueError("no height estimates to fuse")
+    return float(np.mean(values))
+
+
+def point_line_distance(point: Point2, bearing: Bearing2D) -> float:
+    """Perpendicular distance from ``point`` to the (infinite) bearing line."""
+    d = bearing.direction()
+    offset = point.as_array() - bearing.origin.as_array()
+    return float(abs(d[0] * offset[1] - d[1] * offset[0]))
+
+
+def triangulation_residual(point: Point2, bearings: Sequence[Bearing2D]) -> float:
+    """RMS perpendicular distance from ``point`` to all bearing lines."""
+    if not bearings:
+        raise ValueError("no bearings")
+    distances = [point_line_distance(point, b) for b in bearings]
+    return float(np.sqrt(np.mean(np.square(distances))))
+
+
+def circle_point(center: Point2, radius: float, angle: float) -> Point2:
+    """Point on the circle of ``radius`` around ``center`` at ``angle``."""
+    return Point2(
+        center.x + radius * math.cos(angle), center.y + radius * math.sin(angle)
+    )
+
+
+def rotation_matrix_2d(angle: float) -> np.ndarray:
+    """2x2 counterclockwise rotation matrix."""
+    c, s = math.cos(angle), math.sin(angle)
+    return np.array([[c, -s], [s, c]])
+
+
+def euclidean_error_2d(estimate: Point2, truth: Point2) -> Tuple[float, float, float]:
+    """Per-axis and combined Euclidean error (the paper's metric)."""
+    ex = abs(estimate.x - truth.x)
+    ey = abs(estimate.y - truth.y)
+    return ex, ey, math.hypot(ex, ey)
+
+
+def euclidean_error_3d(
+    estimate: Point3, truth: Point3
+) -> Tuple[float, float, float, float]:
+    """Per-axis and combined Euclidean error in 3D."""
+    ex = abs(estimate.x - truth.x)
+    ey = abs(estimate.y - truth.y)
+    ez = abs(estimate.z - truth.z)
+    return ex, ey, ez, math.sqrt(ex * ex + ey * ey + ez * ez)

@@ -1,0 +1,183 @@
+"""Target-reader localization from angle spectra (Section V of the paper).
+
+Every spinning tag yields an angle spectrum; its peak is a bearing from the
+disk center toward the reader.  In 2D two bearings intersect at the reader
+(Eqn 9).  In 3D the azimuth peaks fix (x, y) and the polar peaks give z
+through Eqn 13a/13b — with an inherent sign ambiguity, because a horizontally
+spinning tag cannot distinguish +z from -z (two symmetric peaks, Fig 8).  The
+ambiguity is resolved with a height prior ("dead space" in the paper) or, as
+the paper's future-work extension, with a vertically spinning third tag
+(see ``repro.core.oriented``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.geometry import (
+    Bearing2D,
+    Point2,
+    Point3,
+    fuse_heights,
+    height_from_polar,
+    intersect_bearings_2d,
+    least_squares_intersection,
+    triangulation_residual,
+)
+from repro.core.spectrum import AngleSpectrum, JointSpectrum
+from repro.errors import AmbiguityError
+
+
+@dataclass(frozen=True)
+class Fix2D:
+    """A 2D localization result."""
+
+    position: Point2
+    residual: float
+    confidence: float
+
+
+@dataclass(frozen=True)
+class Fix3D:
+    """A 3D localization result, including the rejected mirror candidate."""
+
+    position: Point3
+    mirror: Point3
+    residual: float
+    confidence: float
+    candidates: Tuple[Point3, ...] = field(default_factory=tuple)
+
+
+def _confidence(spectra: Sequence[AngleSpectrum | JointSpectrum]) -> float:
+    """Geometric mean of the spectra's peak powers, in [0, 1]-ish range."""
+    peaks = np.array([max(s.peak_power, 1e-12) for s in spectra])
+    return float(np.exp(np.mean(np.log(peaks))))
+
+
+class TagspinLocator2D:
+    """Intersect the azimuth spectra of >= 2 coplanar spinning tags."""
+
+    def locate(
+        self,
+        centers: Sequence[Point2],
+        spectra: Sequence[AngleSpectrum],
+    ) -> Fix2D:
+        if len(centers) != len(spectra):
+            raise ValueError("one spectrum per disk center is required")
+        if len(centers) < 2:
+            raise ValueError("need at least two spinning tags in 2D")
+        bearings = [
+            Bearing2D(center, spectrum.peak_azimuth)
+            for center, spectrum in zip(centers, spectra)
+        ]
+        if len(bearings) == 2:
+            position = intersect_bearings_2d(bearings[0], bearings[1])
+        else:
+            position = least_squares_intersection(bearings)
+        residual = triangulation_residual(position, bearings)
+        return Fix2D(position, residual, _confidence(spectra))
+
+
+class TagspinLocator3D:
+    """Fuse joint (azimuth x polar) spectra of >= 2 coplanar spinning tags.
+
+    Parameters
+    ----------
+    z_min, z_max : allowed reader heights [m] relative to the disk plane's
+        frame, used to reject the mirror candidate.  When both candidates
+        survive the prior, the non-negative one is preferred (``prefer_sign``).
+    prefer_sign : +1 or -1; tie-break for the z ambiguity.
+    """
+
+    def __init__(
+        self,
+        z_min: float = -np.inf,
+        z_max: float = np.inf,
+        prefer_sign: int = 1,
+    ) -> None:
+        if z_max < z_min:
+            raise ValueError("z_max must be >= z_min")
+        if prefer_sign not in (1, -1):
+            raise ValueError("prefer_sign must be +1 or -1")
+        self.z_min = z_min
+        self.z_max = z_max
+        self.prefer_sign = prefer_sign
+
+    def locate(
+        self,
+        centers: Sequence[Point3],
+        spectra: Sequence[JointSpectrum],
+    ) -> Fix3D:
+        if len(centers) != len(spectra):
+            raise ValueError("one spectrum per disk center is required")
+        if len(centers) < 2:
+            raise ValueError("need at least two spinning tags in 3D")
+        planar_centers = [c.horizontal() for c in centers]
+        bearings = [
+            Bearing2D(center, spectrum.peak_azimuth)
+            for center, spectrum in zip(planar_centers, spectra)
+        ]
+        if len(bearings) == 2:
+            xy = intersect_bearings_2d(bearings[0], bearings[1])
+        else:
+            xy = least_squares_intersection(bearings)
+        residual = triangulation_residual(xy, bearings)
+
+        # The polar peak of a horizontal disk is sign-ambiguous; work with
+        # height magnitudes *above the disk plane* and emit both mirror
+        # candidates (Eqn 13a/13b, averaged across disks as the paper's
+        # "comparing and balancing").
+        z_plane = float(np.mean([c.z for c in centers]))
+        magnitude = fuse_heights(
+            abs(
+                height_from_polar(
+                    Point3(center.x, center.y, 0.0), xy, abs(spectrum.peak_polar)
+                )
+            )
+            for center, spectrum in zip(centers, spectra)
+        )
+        candidates = (
+            Point3(xy.x, xy.y, z_plane + magnitude),
+            Point3(xy.x, xy.y, z_plane - magnitude),
+        )
+        chosen = self._resolve_ambiguity(candidates)
+        mirror = candidates[1] if chosen is candidates[0] else candidates[0]
+        return Fix3D(
+            position=chosen,
+            mirror=mirror,
+            residual=residual,
+            confidence=_confidence(spectra),
+            candidates=candidates,
+        )
+
+    def _resolve_ambiguity(self, candidates: Tuple[Point3, Point3]) -> Point3:
+        allowed = [
+            c for c in candidates if self.z_min <= c.z <= self.z_max
+        ]
+        if not allowed:
+            raise AmbiguityError(
+                f"both height candidates {candidates[0].z:.3f} / "
+                f"{candidates[1].z:.3f} m fall outside the prior "
+                f"[{self.z_min}, {self.z_max}]"
+            )
+        if len(allowed) == 1:
+            return allowed[0]
+        preferred = [
+            c for c in allowed if np.sign(c.z) == self.prefer_sign or c.z == 0.0
+        ]
+        return preferred[0] if preferred else allowed[0]
+
+
+def spectra_to_bearings(
+    centers: Sequence[Point2], spectra: Sequence[AngleSpectrum]
+) -> List[Bearing2D]:
+    """Convenience: turn spectra into 2D bearings (for plotting/diagnostics)."""
+    if len(centers) != len(spectra):
+        raise ValueError("one spectrum per disk center is required")
+    return [
+        Bearing2D(center, spectrum.peak_azimuth)
+        for center, spectrum in zip(centers, spectra)
+    ]

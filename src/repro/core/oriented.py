@@ -1,0 +1,181 @@
+"""Angle spectra for arbitrarily oriented disks (the paper's future work).
+
+A horizontally spinning tag cannot tell +z from -z: its phase depends on
+``cos(gamma)``, which is even.  The paper suggests "the third spinning tag,
+which rotates along the vertical direction to provide more aperture
+diversity in z-axis".  This module implements the generalized phase model
+for a disk spanned by any orthonormal basis ``(u, v)``:
+
+    d(t) ~= D - r * [cos(alpha_t) * (u . k) + sin(alpha_t) * (v . k)]
+
+with ``alpha_t = omega*t + phase0`` the disk angle and ``k`` the unit vector
+from the disk center toward the reader.  For a horizontal disk this reduces
+to Eqn 10; for a vertical disk the profile is *not* symmetric in gamma, so
+its peak carries the sign of the reader's elevation and disambiguates the
+mirror candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import RELATIVE_PHASE_STD_RAD
+from repro.core.geometry import Point3
+from repro.core.phase import wrap_phase_signed
+from repro.core.spectrum import (
+    JointSpectrum,
+    SnapshotSeries,
+    _centered,
+    _gaussian_weights,
+    _refine_peak_clamped,
+    default_azimuth_grid,
+    default_polar_grid,
+)
+from repro.errors import InsufficientDataError
+
+_POLAR_CHUNK = 8
+
+
+def direction_vector(
+    azimuth: np.ndarray | float, polar: np.ndarray | float
+) -> np.ndarray:
+    """Unit vector(s) for (azimuth, polar); shape ``broadcast + (3,)``."""
+    azimuth = np.asarray(azimuth, dtype=float)
+    polar = np.asarray(polar, dtype=float)
+    cos_polar = np.cos(polar)
+    return np.stack(
+        [
+            cos_polar * np.cos(azimuth),
+            cos_polar * np.sin(azimuth),
+            np.sin(polar) * np.ones_like(azimuth),
+        ],
+        axis=-1,
+    )
+
+
+def oriented_relative_phase_model(
+    series: SnapshotSeries,
+    basis_u: Sequence[float],
+    basis_v: Sequence[float],
+    azimuths: np.ndarray,
+    polars: np.ndarray,
+) -> np.ndarray:
+    """Relative phase ``c_i`` for every (polar, azimuth) candidate.
+
+    Returns shape ``(len(polars), len(azimuths), n_snapshots)``.
+    """
+    u = np.asarray(basis_u, dtype=float)
+    v = np.asarray(basis_v, dtype=float)
+    alphas = series.angular_speed * series.times + series.phase0
+    directions = direction_vector(
+        azimuths[np.newaxis, :], polars[:, np.newaxis]
+    )  # (P, A, 3)
+    u_dot = directions @ u  # (P, A)
+    v_dot = directions @ v
+    projected = (
+        np.cos(alphas)[np.newaxis, np.newaxis, :] * u_dot[..., np.newaxis]
+        + np.sin(alphas)[np.newaxis, np.newaxis, :] * v_dot[..., np.newaxis]
+    )
+    scale = 4.0 * np.pi * series.radius / series.wavelength
+    return scale * (projected[..., :1] - projected)
+
+
+def compute_oriented_profile(
+    series: SnapshotSeries,
+    basis_u: Sequence[float],
+    basis_v: Sequence[float],
+    azimuth_grid: Optional[np.ndarray] = None,
+    polar_grid: Optional[np.ndarray] = None,
+    sigma: Optional[float] = RELATIVE_PHASE_STD_RAD,
+) -> JointSpectrum:
+    """Joint (azimuth x polar) profile for an arbitrarily oriented disk.
+
+    ``sigma=None`` gives the traditional profile Q; a positive ``sigma``
+    gives the enhanced profile R with Definition 5.1's Gaussian weights.
+    """
+    if len(series) < 3:
+        raise InsufficientDataError("need at least 3 snapshots")
+    azimuths = (
+        default_azimuth_grid() if azimuth_grid is None
+        else np.asarray(azimuth_grid, dtype=float)
+    )
+    polars = (
+        default_polar_grid() if polar_grid is None
+        else np.asarray(polar_grid, dtype=float)
+    )
+    measured = series.relative_phases()
+    power = np.empty((polars.size, azimuths.size))
+    for start in range(0, polars.size, _POLAR_CHUNK):
+        chunk = polars[start : start + _POLAR_CHUNK]
+        theoretical = oriented_relative_phase_model(
+            series, basis_u, basis_v, azimuths, chunk
+        )
+        residuals = np.asarray(
+            wrap_phase_signed(measured - theoretical), dtype=float
+        )
+        if sigma is None:
+            block = np.abs(np.mean(np.exp(1j * residuals), axis=-1))
+        else:
+            residuals = _centered(residuals)
+            weights = _gaussian_weights(residuals, sigma)
+            block = np.abs(np.mean(weights * np.exp(1j * residuals), axis=-1))
+        power[start : start + chunk.size] = block
+    row, col = np.unravel_index(int(np.argmax(power)), power.shape)
+    peak_azimuth, _ = _refine_peak_clamped(azimuths, power[row])
+    peak_polar, peak_power = _refine_peak_clamped(polars, power[:, col])
+    return JointSpectrum(
+        azimuth_grid=azimuths,
+        polar_grid=polars,
+        power=power,
+        peak_azimuth=float(np.mod(peak_azimuth, 2.0 * np.pi)),
+        peak_polar=peak_polar,
+        peak_power=peak_power,
+    )
+
+
+def power_at_direction(
+    series: SnapshotSeries,
+    basis_u: Sequence[float],
+    basis_v: Sequence[float],
+    azimuth: float,
+    polar: float,
+    sigma: Optional[float] = RELATIVE_PHASE_STD_RAD,
+) -> float:
+    """Profile power at one specific (azimuth, polar) direction."""
+    spectrum = compute_oriented_profile(
+        series,
+        basis_u,
+        basis_v,
+        azimuth_grid=np.array([azimuth]),
+        polar_grid=np.array([polar]),
+        sigma=sigma,
+    )
+    return float(spectrum.power[0, 0])
+
+
+def resolve_z_with_vertical_disk(
+    candidates: Tuple[Point3, Point3],
+    vertical_center: Point3,
+    vertical_series: SnapshotSeries,
+    basis_u: Sequence[float],
+    basis_v: Sequence[float],
+    sigma: Optional[float] = RELATIVE_PHASE_STD_RAD,
+) -> Point3:
+    """Pick the mirror candidate the vertical disk's profile supports.
+
+    Each candidate implies a direction (azimuth, polar) from the vertical
+    disk's center; because the vertical disk's aperture distinguishes
+    elevations, the true candidate scores a much higher profile power.
+    """
+    scores = []
+    for candidate in candidates:
+        azimuth = vertical_center.azimuth_to(candidate)
+        polar = vertical_center.polar_to(candidate)
+        scores.append(
+            power_at_direction(
+                vertical_series, basis_u, basis_v, azimuth, polar, sigma
+            )
+        )
+    return candidates[int(np.argmax(scores))]

@@ -1,0 +1,400 @@
+"""End-to-end Tagspin pipeline (Section II's four steps).
+
+Consumes a stream of LLRP tag reports and the spinning-tag registry and
+produces the reader-antenna position:
+
+1. group reports into per-(tag, antenna, channel) snapshot series;
+2. calibrate phase shifts — device diversity cancels via the first-snapshot
+   reference; the orientation offset is removed with the fitted profile;
+3. generate an angle spectrum per spinning tag (enhanced profile by default);
+4. intersect the spectra to pinpoint the reader (2D or 3D).
+
+Orientation calibration needs each sample's orientation *relative to the
+reader*, which depends on the answer.  The pipeline therefore runs two
+passes: a first localization without orientation correction yields a coarse
+reader position; orientations are computed against it, the correction is
+applied and the spectra are recomputed.  One refinement pass suffices
+because the orientation only needs the reader *bearing*, which the coarse
+pass already gets within a degree or two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_AZIMUTH_RESOLUTION_RAD,
+    DEFAULT_POLAR_RESOLUTION_RAD,
+    RELATIVE_PHASE_STD_RAD,
+    channel_frequencies,
+    wavelength_for_frequency,
+)
+from repro.core.geometry import Point3
+from repro.core.locator import Fix2D, Fix3D, TagspinLocator2D, TagspinLocator3D
+from repro.core.spectrum import (
+    AngleSpectrum,
+    JointSpectrum,
+    SnapshotSeries,
+    combine_spectra,
+    compute_q_profile,
+    compute_q_profile_3d,
+    compute_r_profile,
+    compute_r_profile_3d,
+    default_azimuth_grid,
+    default_polar_grid,
+)
+from repro.errors import InsufficientDataError
+from repro.hardware.llrp import ReportBatch
+from repro.server.registry import SpinningTagRecord, TagRegistry
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs of the localization pipeline."""
+
+    #: Use the paper's enhanced profile R (True) or the traditional Q (False).
+    use_enhanced_profile: bool = True
+    #: Apply the phase-orientation calibration (Section III-B).
+    orientation_calibration: bool = True
+    #: Gaussian sigma of the relative-phase weights [rad].
+    sigma: float = RELATIVE_PHASE_STD_RAD
+    azimuth_resolution: float = DEFAULT_AZIMUTH_RESOLUTION_RAD
+    #: Coarse grid steps of the 3D (azimuth x polar) search; a local
+    #: fine-refinement pass around the coarse peak recovers sub-grid
+    #: accuracy, so these can stay coarse for speed.
+    joint_azimuth_resolution: float = np.deg2rad(2.0)
+    polar_resolution: float = DEFAULT_POLAR_RESOLUTION_RAD
+    #: Minimum snapshots per (tag, antenna, channel) series.
+    min_snapshots: int = 12
+    #: Use host timestamps instead of reader timestamps (for the latency
+    #: ablation only; degrades accuracy, as the paper warns).
+    use_host_time: bool = False
+    #: Height prior for the 3D ambiguity resolution [m].
+    z_min: float = -np.inf
+    z_max: float = np.inf
+    prefer_sign: int = 1
+
+
+@dataclass(frozen=True)
+class DiskSpectra:
+    """Spectra obtained from one spinning tag (possibly several channels)."""
+
+    record: SpinningTagRecord
+    azimuth: AngleSpectrum
+    joint: Optional[JointSpectrum] = None
+
+
+class TagspinSystem:
+    """The localization server's processing engine."""
+
+    def __init__(
+        self, registry: TagRegistry, config: Optional[PipelineConfig] = None
+    ) -> None:
+        self.registry = registry
+        self.config = config if config is not None else PipelineConfig()
+        self._frequencies = channel_frequencies()
+
+    # ------------------------------------------------------------------
+    # Series extraction
+    # ------------------------------------------------------------------
+    def extract_series(
+        self, batch: ReportBatch, epc: str, antenna_port: int
+    ) -> List[SnapshotSeries]:
+        """Per-channel snapshot series of one spinning tag on one antenna.
+
+        Splitting per channel is required for correctness: the
+        first-snapshot reference only cancels the unknown distance and
+        diversity terms when all snapshots share a wavelength.
+        """
+        record = self.registry.get(epc)
+        reports = [
+            r
+            for r in batch.reports
+            if r.epc == epc and r.antenna_port == antenna_port
+        ]
+        by_channel: Dict[int, List] = {}
+        for report in reports:
+            by_channel.setdefault(report.channel_index, []).append(report)
+
+        series: List[SnapshotSeries] = []
+        for channel_index, channel_reports in sorted(by_channel.items()):
+            if len(channel_reports) < self.config.min_snapshots:
+                continue
+            # Sort by whichever clock the series will use — host-time mode
+            # must tolerate latency jitter reordering arrivals.
+            if self.config.use_host_time:
+                channel_reports.sort(key=lambda r: r.host_timestamp_us)
+            else:
+                channel_reports.sort(key=lambda r: r.reader_timestamp_us)
+            times = np.array(
+                [
+                    r.host_time_s if self.config.use_host_time else r.reader_time_s
+                    for r in channel_reports
+                ]
+            )
+            phases = np.array([r.phase_rad for r in channel_reports])
+            series.append(
+                SnapshotSeries(
+                    times=times,
+                    phases=phases,
+                    wavelength=wavelength_for_frequency(
+                        self._frequencies[channel_index]
+                    ),
+                    radius=record.disk.radius,
+                    angular_speed=record.disk.angular_speed,
+                    phase0=record.disk.phase0,
+                )
+            )
+        if not series:
+            raise InsufficientDataError(
+                f"no channel of tag {epc} on antenna {antenna_port} reached "
+                f"{self.config.min_snapshots} snapshots"
+            )
+        return series
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def _orientation_corrected(
+        self,
+        record: SpinningTagRecord,
+        series: SnapshotSeries,
+        reader_position: Point3,
+    ) -> SnapshotSeries:
+        """Return ``series`` with the orientation offset removed."""
+        profile = record.orientation_profile
+        if profile is None:
+            return series
+        orientations = record.disk.tag_orientations(series.times, reader_position)
+        corrected = profile.apply(series.phases, orientations)
+        return replace(series, phases=np.mod(corrected, 2.0 * np.pi))
+
+    # ------------------------------------------------------------------
+    # Spectrum generation
+    # ------------------------------------------------------------------
+    def azimuth_spectrum(
+        self, series_list: Sequence[SnapshotSeries]
+    ) -> AngleSpectrum:
+        """Fused azimuth spectrum across the per-channel series."""
+        grid = default_azimuth_grid(self.config.azimuth_resolution)
+        spectra = []
+        for series in series_list:
+            if self.config.use_enhanced_profile:
+                spectra.append(
+                    compute_r_profile(series, grid, sigma=self.config.sigma)
+                )
+            else:
+                spectra.append(compute_q_profile(series, grid))
+        return combine_spectra(spectra)
+
+    def joint_spectrum(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        record: Optional[SpinningTagRecord] = None,
+    ) -> JointSpectrum:
+        """Fused (azimuth x polar) spectrum across the per-channel series.
+
+        Each series is searched coarse-to-fine independently; the fused peak
+        is the power-weighted (circular for azimuth) mean of the per-series
+        refined peaks, and the fused grid is the mean coarse power surface.
+        Non-horizontal disks (the vertical-disk extension) dispatch to the
+        generalized oriented-profile model.
+        """
+        azimuths = default_azimuth_grid(self.config.joint_azimuth_resolution)
+        polars = default_polar_grid(self.config.polar_resolution)
+        oriented_basis = None
+        if record is not None and not record.disk.is_horizontal:
+            oriented_basis = (record.disk.basis_u, record.disk.basis_v)
+        spectra = []
+        for series in series_list:
+            if oriented_basis is not None:
+                from repro.core.oriented import compute_oriented_profile
+
+                spectra.append(
+                    compute_oriented_profile(
+                        series,
+                        oriented_basis[0],
+                        oriented_basis[1],
+                        azimuths,
+                        polars,
+                        sigma=(
+                            self.config.sigma
+                            if self.config.use_enhanced_profile
+                            else None
+                        ),
+                    )
+                )
+            elif self.config.use_enhanced_profile:
+                spectra.append(
+                    compute_r_profile_3d(
+                        series, azimuths, polars, sigma=self.config.sigma
+                    )
+                )
+            else:
+                spectra.append(compute_q_profile_3d(series, azimuths, polars))
+        mean_power = np.mean([s.power for s in spectra], axis=0)
+        weights = np.array([max(s.peak_power, 1e-12) for s in spectra])
+        weights = weights / np.sum(weights)
+        peak_azimuth = float(
+            np.mod(
+                np.angle(
+                    np.sum(
+                        weights * np.exp(1j * np.array([s.peak_azimuth for s in spectra]))
+                    )
+                ),
+                2.0 * np.pi,
+            )
+        )
+        peak_polar = float(
+            np.sum(weights * np.array([s.peak_polar for s in spectra]))
+        )
+        return JointSpectrum(
+            azimuth_grid=azimuths,
+            polar_grid=polars,
+            power=mean_power,
+            peak_azimuth=peak_azimuth,
+            peak_polar=peak_polar,
+            peak_power=float(np.max(mean_power)),
+        )
+
+    # ------------------------------------------------------------------
+    # Localization
+    # ------------------------------------------------------------------
+    def _spinning_epcs_in(self, batch: ReportBatch, antenna_port: int) -> List[str]:
+        epcs = []
+        for epc in batch.epcs():
+            if epc in self.registry and any(
+                r.epc == epc and r.antenna_port == antenna_port
+                for r in batch.reports
+            ):
+                epcs.append(epc)
+        if len(epcs) < 2:
+            raise InsufficientDataError(
+                f"need reports from at least two registered spinning tags on "
+                f"antenna {antenna_port}, got {len(epcs)}"
+            )
+        return epcs
+
+    def locate_2d(self, batch: ReportBatch, antenna_port: int = 1) -> Fix2D:
+        """Locate the reader antenna in the disk plane."""
+        epcs = self._spinning_epcs_in(batch, antenna_port)
+        all_series = {
+            epc: self.extract_series(batch, epc, antenna_port) for epc in epcs
+        }
+        centers = [
+            self.registry.get(epc).disk.center.horizontal() for epc in epcs
+        ]
+        locator = TagspinLocator2D()
+
+        spectra = [self.azimuth_spectrum(all_series[epc]) for epc in epcs]
+        fix = locator.locate(centers, spectra)
+
+        if self.config.orientation_calibration and any(
+            self.registry.get(epc).orientation_profile is not None for epc in epcs
+        ):
+            coarse = Point3(fix.position.x, fix.position.y, 0.0)
+            refined = []
+            for epc in epcs:
+                record = self.registry.get(epc)
+                corrected = [
+                    self._orientation_corrected(record, s, coarse)
+                    for s in all_series[epc]
+                ]
+                refined.append(self.azimuth_spectrum(corrected))
+            fix = locator.locate(centers, refined)
+        return fix
+
+    def locate_3d(self, batch: ReportBatch, antenna_port: int = 1) -> Fix3D:
+        """Locate the reader antenna in 3D space.
+
+        Horizontal disks provide the (x, y, |z|) solution with its mirror
+        ambiguity; if the deployment includes a vertically spinning tag (the
+        paper's future-work extension), its asymmetric aperture resolves the
+        mirror candidates without a height prior.
+        """
+        epcs = self._spinning_epcs_in(batch, antenna_port)
+        horizontal = [
+            epc for epc in epcs if self.registry.get(epc).disk.is_horizontal
+        ]
+        vertical = [epc for epc in epcs if epc not in horizontal]
+        if len(horizontal) < 2:
+            raise InsufficientDataError(
+                "3D localization needs at least two horizontal disks"
+            )
+        all_series = {
+            epc: self.extract_series(batch, epc, antenna_port) for epc in epcs
+        }
+        centers = [self.registry.get(epc).disk.center for epc in horizontal]
+        locator = TagspinLocator3D(
+            z_min=self.config.z_min,
+            z_max=self.config.z_max,
+            prefer_sign=self.config.prefer_sign,
+        )
+
+        spectra = [self.joint_spectrum(all_series[epc]) for epc in horizontal]
+        fix = locator.locate(centers, spectra)
+
+        if self.config.orientation_calibration and any(
+            self.registry.get(epc).orientation_profile is not None
+            for epc in horizontal
+        ):
+            refined = []
+            for epc in horizontal:
+                record = self.registry.get(epc)
+                corrected = [
+                    self._orientation_corrected(record, s, fix.position)
+                    for s in all_series[epc]
+                ]
+                refined.append(self.joint_spectrum(corrected))
+            fix = locator.locate(centers, refined)
+
+        if vertical:
+            fix = self._resolve_with_vertical(fix, vertical[0], all_series)
+        return fix
+
+    def _resolve_with_vertical(
+        self,
+        fix: Fix3D,
+        epc: str,
+        all_series: Dict[str, List[SnapshotSeries]],
+    ) -> Fix3D:
+        """Re-rank the mirror candidates using a vertical disk's profile."""
+        from repro.core.oriented import resolve_z_with_vertical_disk
+
+        record = self.registry.get(epc)
+        series = all_series[epc][0]
+        chosen = resolve_z_with_vertical_disk(
+            (fix.candidates[0], fix.candidates[1]),
+            record.disk.center,
+            series,
+            record.disk.basis_u,
+            record.disk.basis_v,
+            sigma=self.config.sigma if self.config.use_enhanced_profile else None,
+        )
+        mirror = (
+            fix.candidates[1] if chosen is fix.candidates[0] else fix.candidates[0]
+        )
+        return Fix3D(
+            position=chosen,
+            mirror=mirror,
+            residual=fix.residual,
+            confidence=fix.confidence,
+            candidates=fix.candidates,
+        )
+
+    def disk_spectra_2d(
+        self, batch: ReportBatch, antenna_port: int = 1
+    ) -> List[DiskSpectra]:
+        """Diagnostic view: the azimuth spectrum of every spinning tag."""
+        epcs = self._spinning_epcs_in(batch, antenna_port)
+        result = []
+        for epc in epcs:
+            record = self.registry.get(epc)
+            spectrum = self.azimuth_spectrum(
+                self.extract_series(batch, epc, antenna_port)
+            )
+            result.append(DiskSpectra(record=record, azimuth=spectrum))
+        return result

@@ -1,0 +1,175 @@
+"""Tracking a moving reader across sequential Tagspin fixes.
+
+The paper localizes a stationary reader; a natural operational extension is
+a reader carried through the facility (a handheld, a forklift) that stops
+briefly near the spinning-tag infrastructure.  Each stop yields a Tagspin
+fix with a quality score; a constant-velocity Kalman filter fuses the
+sequence into a smooth trajectory, rejecting the occasional bad fix by its
+innovation.
+
+This is deliberately generic: any source of timestamped 2D fixes with
+per-fix noise estimates can be tracked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.geometry import Point2
+from repro.core.locator import Fix2D
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One smoothed trajectory point."""
+
+    time_s: float
+    position: Point2
+    velocity: tuple
+    #: Standard deviation of the position estimate [m] (sqrt of trace/2).
+    position_std: float
+    #: Whether the raw fix at this step was rejected as an outlier.
+    rejected: bool = False
+
+
+class ConstantVelocityKalman:
+    """Constant-velocity Kalman filter over 2D position fixes.
+
+    State ``[x, y, vx, vy]``; process noise is white acceleration with
+    spectral density ``accel_std^2``; measurements are positions with
+    per-measurement isotropic noise.  Fixes whose normalized innovation
+    squared exceeds ``gate`` (chi-square, 2 dof) are rejected — the filter
+    coasts through them.
+    """
+
+    def __init__(
+        self,
+        accel_std: float = 0.3,
+        gate: float = 13.8,  # chi2(2) at ~0.999
+    ) -> None:
+        if accel_std <= 0:
+            raise ConfigurationError("accel_std must be positive")
+        if gate <= 0:
+            raise ConfigurationError("gate must be positive")
+        self.accel_std = accel_std
+        self.gate = gate
+        self._state: Optional[np.ndarray] = None
+        self._covariance: Optional[np.ndarray] = None
+        self._last_time: Optional[float] = None
+
+    @property
+    def initialized(self) -> bool:
+        return self._state is not None
+
+    def _predict(self, dt: float) -> None:
+        assert self._state is not None and self._covariance is not None
+        transition = np.eye(4)
+        transition[0, 2] = dt
+        transition[1, 3] = dt
+        q = self.accel_std**2
+        dt2, dt3, dt4 = dt * dt, dt**3, dt**4
+        process = q * np.array(
+            [
+                [dt4 / 4, 0, dt3 / 2, 0],
+                [0, dt4 / 4, 0, dt3 / 2],
+                [dt3 / 2, 0, dt2, 0],
+                [0, dt3 / 2, 0, dt2],
+            ]
+        )
+        self._state = transition @ self._state
+        self._covariance = (
+            transition @ self._covariance @ transition.T + process
+        )
+
+    def update(
+        self, time_s: float, measurement: Point2, measurement_std: float
+    ) -> TrackPoint:
+        """Ingest one fix; returns the smoothed track point."""
+        if measurement_std <= 0:
+            raise ValueError("measurement_std must be positive")
+        z = measurement.as_array()
+        r = measurement_std**2 * np.eye(2)
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+
+        if self._state is None:
+            self._state = np.array([z[0], z[1], 0.0, 0.0])
+            self._covariance = np.diag(
+                [measurement_std**2, measurement_std**2, 1.0, 1.0]
+            )
+            self._last_time = time_s
+            return self._track_point(time_s, rejected=False)
+
+        assert self._last_time is not None
+        dt = time_s - self._last_time
+        if dt < 0:
+            raise ValueError("fixes must arrive in time order")
+        if dt > 0:
+            self._predict(dt)
+        self._last_time = time_s
+
+        assert self._covariance is not None
+        innovation = z - h @ self._state
+        innovation_cov = h @ self._covariance @ h.T + r
+        nis = float(
+            innovation @ np.linalg.solve(innovation_cov, innovation)
+        )
+        if nis > self.gate:
+            return self._track_point(time_s, rejected=True)
+
+        gain = self._covariance @ h.T @ np.linalg.inv(innovation_cov)
+        self._state = self._state + gain @ innovation
+        self._covariance = (np.eye(4) - gain @ h) @ self._covariance
+        return self._track_point(time_s, rejected=False)
+
+    def _track_point(self, time_s: float, rejected: bool) -> TrackPoint:
+        assert self._state is not None and self._covariance is not None
+        return TrackPoint(
+            time_s=time_s,
+            position=Point2(float(self._state[0]), float(self._state[1])),
+            velocity=(float(self._state[2]), float(self._state[3])),
+            position_std=float(
+                math.sqrt(np.trace(self._covariance[:2, :2]) / 2.0)
+            ),
+            rejected=rejected,
+        )
+
+
+class ReaderTracker:
+    """Tracks a moving reader from a sequence of Tagspin fixes.
+
+    The measurement noise per fix is derived from its triangulation
+    residual (floored at ``min_fix_std``) — a residual-consistent fix gets
+    trusted more.
+    """
+
+    def __init__(
+        self,
+        accel_std: float = 0.3,
+        min_fix_std: float = 0.02,
+        residual_scale: float = 2.0,
+    ) -> None:
+        if min_fix_std <= 0 or residual_scale <= 0:
+            raise ConfigurationError("noise parameters must be positive")
+        self.filter = ConstantVelocityKalman(accel_std=accel_std)
+        self.min_fix_std = min_fix_std
+        self.residual_scale = residual_scale
+        self.track: List[TrackPoint] = []
+
+    def ingest(self, time_s: float, fix: Fix2D) -> TrackPoint:
+        """Fuse one Tagspin fix into the trajectory."""
+        std = max(self.min_fix_std, self.residual_scale * fix.residual)
+        point = self.filter.update(time_s, fix.position, std)
+        self.track.append(point)
+        return point
+
+    def positions(self) -> List[Point2]:
+        return [point.position for point in self.track]
+
+    def rejection_count(self) -> int:
+        return sum(1 for point in self.track if point.rejected)

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the Tagspin reproduction."""
+
+from __future__ import annotations
+
+
+class TagspinError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(TagspinError):
+    """A scenario, registry or hardware object was configured inconsistently."""
+
+
+class InsufficientDataError(TagspinError):
+    """Not enough tag reads were available to run an algorithm."""
+
+
+class UnknownTagError(TagspinError):
+    """A report referenced an EPC absent from the spinning-tag registry."""
+
+
+class AmbiguityError(TagspinError):
+    """A localization result could not be disambiguated (e.g. parallel bearings)."""
+
+
+class CalibrationError(TagspinError):
+    """Orientation/diversity calibration could not be fitted or applied."""

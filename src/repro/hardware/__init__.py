@@ -1,0 +1,1 @@
+"""Simulated COTS hardware: tags, spinning disks, Gen2 inventory, LLRP, reader."""

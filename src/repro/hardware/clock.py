@@ -1,0 +1,61 @@
+"""Reader and host clocks.
+
+The paper notes that reader and host keep separate clocks and that the
+*reader* timestamp must be used for phase acquisition, "in order to erase the
+influence of network latency".  The simulator reproduces this: host
+timestamps are the reader timestamps plus a drifting offset and a jittery
+network latency, so tests can demonstrate that using host time degrades the
+spectrum while reader time does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Maps true event times to reader- and host-observed timestamps.
+
+    Attributes
+    ----------
+    reader_offset_s : constant offset of the reader clock from true time [s]
+    reader_drift_ppm : reader crystal drift [parts per million]
+    host_offset_s : constant offset of the host clock [s]
+    latency_mean_s : mean reader-to-host network latency [s]
+    latency_jitter_s : standard deviation of the latency [s]
+    """
+
+    reader_offset_s: float = 0.0
+    reader_drift_ppm: float = 0.0
+    host_offset_s: float = 0.0
+    latency_mean_s: float = 0.015
+    latency_jitter_s: float = 0.008
+
+    def reader_timestamps(self, true_times: np.ndarray) -> np.ndarray:
+        """Reader-clock timestamps of events at ``true_times`` [s]."""
+        true_times = np.asarray(true_times, dtype=float)
+        drift = 1.0 + self.reader_drift_ppm * 1e-6
+        return self.reader_offset_s + drift * true_times
+
+    def host_timestamps(
+        self, true_times: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Host-observed arrival timestamps, including network latency."""
+        true_times = np.asarray(true_times, dtype=float)
+        latency = self.latency_mean_s + self.latency_jitter_s * rng.standard_normal(
+            true_times.shape
+        )
+        return self.host_offset_s + true_times + np.maximum(latency, 0.0)
+
+
+def timestamps_to_microseconds(timestamps_s: np.ndarray) -> np.ndarray:
+    """Convert seconds to the integer microseconds LLRP reports carry."""
+    return np.round(np.asarray(timestamps_s, dtype=float) * 1e6).astype(np.int64)
+
+
+def microseconds_to_seconds(timestamps_us: np.ndarray) -> np.ndarray:
+    """Convert LLRP microsecond timestamps back to float seconds."""
+    return np.asarray(timestamps_us, dtype=np.int64) / 1e6

@@ -1,0 +1,124 @@
+"""LLRP-style report messages.
+
+Impinj readers extend the Low Level Reader Protocol (LLRP) to report, per
+tag read: EPC, the reader-clock timestamp, the measured RF phase, peak RSSI,
+the frequency-channel index and the antenna port.  These are exactly the
+fields the Tagspin algorithms consume, so the simulator emits the same
+records; JSON round-tripping supports recording and replaying sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TagReportData:
+    """One LLRP tag report (the unit of input to the localization server)."""
+
+    epc: str
+    antenna_port: int
+    channel_index: int
+    #: Reader-clock timestamp [microseconds] — the timestamp Tagspin uses.
+    reader_timestamp_us: int
+    #: Host arrival timestamp [microseconds] — latency-polluted; kept to let
+    #: experiments demonstrate why the reader clock must be used.
+    host_timestamp_us: int
+    phase_rad: float
+    rssi_dbm: float
+
+    @property
+    def reader_time_s(self) -> float:
+        return self.reader_timestamp_us / 1e6
+
+    @property
+    def host_time_s(self) -> float:
+        return self.host_timestamp_us / 1e6
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TagReportData":
+        return cls(
+            epc=str(data["epc"]),
+            antenna_port=int(data["antenna_port"]),
+            channel_index=int(data["channel_index"]),
+            reader_timestamp_us=int(data["reader_timestamp_us"]),
+            host_timestamp_us=int(data["host_timestamp_us"]),
+            phase_rad=float(data["phase_rad"]),
+            rssi_dbm=float(data["rssi_dbm"]),
+        )
+
+
+@dataclass(frozen=True)
+class ROSpec:
+    """Reader-operation spec: what to inventory and how to report.
+
+    A small subset of the real LLRP ROSpec, covering what the paper
+    configures: immediate reporting of every read with phase enabled.
+    """
+
+    rospec_id: int = 1
+    antenna_ports: Sequence[int] = (1,)
+    duration_s: float = 10.0
+    report_every_read: bool = True
+    enable_phase: bool = True
+    enable_rssi: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("ROSpec duration must be positive")
+        if not self.antenna_ports:
+            raise ConfigurationError("ROSpec needs at least one antenna port")
+
+
+@dataclass
+class ReportBatch:
+    """A recorded stream of tag reports, serializable to JSON."""
+
+    reports: List[TagReportData] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def extend(self, reports: Iterable[TagReportData]) -> None:
+        self.reports.extend(reports)
+
+    def filter_epc(self, epc: str) -> "ReportBatch":
+        return ReportBatch([r for r in self.reports if r.epc == epc])
+
+    def filter_antenna(self, antenna_port: int) -> "ReportBatch":
+        return ReportBatch(
+            [r for r in self.reports if r.antenna_port == antenna_port]
+        )
+
+    def epcs(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for report in self.reports:
+            seen.setdefault(report.epc)
+        return list(seen)
+
+    def sorted_by_reader_time(self) -> "ReportBatch":
+        return ReportBatch(
+            sorted(self.reports, key=lambda r: r.reader_timestamp_us)
+        )
+
+    def to_json(self) -> str:
+        return json.dumps([r.to_dict() for r in self.reports])
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReportBatch":
+        return cls([TagReportData.from_dict(item) for item in json.loads(text)])
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReportBatch":
+        return cls.from_json(Path(path).read_text())

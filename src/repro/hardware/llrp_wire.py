@@ -1,0 +1,202 @@
+"""Binary LLRP framing for tag reports.
+
+The Low Level Reader Protocol frames every message with a 10-byte header
+(reserved/version bits + message type, a 32-bit total length and a 32-bit
+message id) followed by TLV parameters.  This module implements the subset
+needed to ship ``RO_ACCESS_REPORT`` messages — the message Impinj readers
+stream tag reads in — with the vendor extension carrying the RF phase:
+
+* ``TagReportData`` parameter (type 240) containing
+  ``EPC-96`` (type 13), ``AntennaID`` (type 1), ``PeakRSSI`` (type 6),
+  ``ChannelIndex`` (type 7), ``FirstSeenTimestampUTC`` (type 2), and
+* a ``Custom`` parameter (type 1023) with Impinj's vendor id carrying the
+  phase angle in 1/4096-of-a-circle units plus the host timestamp.
+
+Wire layout follows LLRP conventions (big-endian, TLV params with a 6-bit
+type in a 16-bit field); values are quantized exactly as COTS readers do
+(RSSI to whole dBm in a signed byte, phase to 12 bits), so a wire round
+trip is measurably lossy — tests cover the quantization bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ReportBatch, TagReportData
+
+#: LLRP version 1 in the header's version bits.
+_VERSION = 1
+#: Message type of RO_ACCESS_REPORT.
+MSG_RO_ACCESS_REPORT = 61
+
+#: Parameter type numbers (LLRP standard ones).
+PARAM_TAG_REPORT_DATA = 240
+PARAM_EPC_96 = 13
+PARAM_ANTENNA_ID = 1
+PARAM_PEAK_RSSI = 6
+PARAM_CHANNEL_INDEX = 7
+PARAM_FIRST_SEEN_UTC = 2
+PARAM_CUSTOM = 1023
+
+#: Impinj's IANA private enterprise number, used in Custom parameters.
+IMPINJ_VENDOR_ID = 25882
+#: Our custom subtype carrying (phase, host timestamp).
+CUSTOM_SUBTYPE_PHASE = 66
+
+#: Phase is reported in 1/4096 of a full circle (Impinj convention).
+PHASE_UNITS = 4096
+
+
+def _tlv(param_type: int, body: bytes) -> bytes:
+    """Encode one TLV parameter: 16-bit type, 16-bit total length."""
+    length = 4 + len(body)
+    return struct.pack(">HH", param_type & 0x3FF, length) + body
+
+
+def _read_tlv(buffer: bytes, offset: int) -> Tuple[int, bytes, int]:
+    """Decode one TLV at ``offset``; returns (type, body, next_offset)."""
+    if offset + 4 > len(buffer):
+        raise ConfigurationError("truncated LLRP parameter header")
+    param_type, length = struct.unpack_from(">HH", buffer, offset)
+    param_type &= 0x3FF
+    if length < 4 or offset + length > len(buffer):
+        raise ConfigurationError("corrupt LLRP parameter length")
+    return param_type, buffer[offset + 4 : offset + length], offset + length
+
+
+def encode_phase(phase_rad: float) -> int:
+    """Quantize a phase [rad] to Impinj's 12-bit units."""
+    units = int(round(phase_rad / (2.0 * math.pi) * PHASE_UNITS))
+    return units % PHASE_UNITS
+
+
+def decode_phase(units: int) -> float:
+    """Convert 12-bit phase units back to radians in [0, 2*pi)."""
+    return (units % PHASE_UNITS) * 2.0 * math.pi / PHASE_UNITS
+
+
+def encode_tag_report(report: TagReportData) -> bytes:
+    """Encode one tag read as a TagReportData TLV."""
+    epc_bytes = bytes.fromhex(report.epc)
+    if len(epc_bytes) != 12:
+        raise ConfigurationError(
+            f"EPC-96 requires a 24-hex-digit EPC, got {report.epc!r}"
+        )
+    rssi = max(-128, min(127, int(round(report.rssi_dbm))))
+    body = b"".join(
+        [
+            _tlv(PARAM_EPC_96, epc_bytes),
+            _tlv(PARAM_ANTENNA_ID, struct.pack(">H", report.antenna_port)),
+            _tlv(PARAM_PEAK_RSSI, struct.pack(">b", rssi)),
+            _tlv(PARAM_CHANNEL_INDEX, struct.pack(">H", report.channel_index)),
+            _tlv(
+                PARAM_FIRST_SEEN_UTC,
+                struct.pack(">Q", report.reader_timestamp_us),
+            ),
+            _tlv(
+                PARAM_CUSTOM,
+                struct.pack(
+                    ">IIHQ",
+                    IMPINJ_VENDOR_ID,
+                    CUSTOM_SUBTYPE_PHASE,
+                    encode_phase(report.phase_rad),
+                    report.host_timestamp_us,
+                ),
+            ),
+        ]
+    )
+    return _tlv(PARAM_TAG_REPORT_DATA, body)
+
+
+def decode_tag_report(body: bytes) -> TagReportData:
+    """Decode the body of one TagReportData TLV."""
+    epc = ""
+    antenna = channel = 0
+    rssi = 0.0
+    reader_us = host_us = 0
+    phase = 0.0
+    offset = 0
+    while offset < len(body):
+        param_type, param_body, offset = _read_tlv(body, offset)
+        if param_type == PARAM_EPC_96:
+            epc = param_body.hex().upper()
+        elif param_type == PARAM_ANTENNA_ID:
+            (antenna,) = struct.unpack(">H", param_body)
+        elif param_type == PARAM_PEAK_RSSI:
+            (raw,) = struct.unpack(">b", param_body)
+            rssi = float(raw)
+        elif param_type == PARAM_CHANNEL_INDEX:
+            (channel,) = struct.unpack(">H", param_body)
+        elif param_type == PARAM_FIRST_SEEN_UTC:
+            (reader_us,) = struct.unpack(">Q", param_body)
+        elif param_type == PARAM_CUSTOM:
+            vendor, subtype, units, host_us = struct.unpack(
+                ">IIHQ", param_body
+            )
+            if vendor != IMPINJ_VENDOR_ID or subtype != CUSTOM_SUBTYPE_PHASE:
+                continue
+            phase = decode_phase(units)
+        # Unknown parameters are skipped (forward compatibility).
+    if not epc:
+        raise ConfigurationError("TagReportData without an EPC-96 parameter")
+    return TagReportData(
+        epc=epc,
+        antenna_port=antenna,
+        channel_index=channel,
+        reader_timestamp_us=reader_us,
+        host_timestamp_us=host_us,
+        phase_rad=phase,
+        rssi_dbm=rssi,
+    )
+
+
+def encode_ro_access_report(
+    batch: ReportBatch, message_id: int = 1
+) -> bytes:
+    """Frame a whole batch as one RO_ACCESS_REPORT message."""
+    body = b"".join(encode_tag_report(r) for r in batch.reports)
+    header_word = (_VERSION << 10) | MSG_RO_ACCESS_REPORT
+    length = 10 + len(body)
+    return struct.pack(">HII", header_word, length, message_id) + body
+
+
+def decode_ro_access_report(data: bytes) -> Tuple[int, ReportBatch]:
+    """Parse an RO_ACCESS_REPORT frame; returns (message_id, batch)."""
+    if len(data) < 10:
+        raise ConfigurationError("truncated LLRP message header")
+    header_word, length, message_id = struct.unpack_from(">HII", data, 0)
+    message_type = header_word & 0x3FF
+    version = (header_word >> 10) & 0x7
+    if version != _VERSION:
+        raise ConfigurationError(f"unsupported LLRP version {version}")
+    if message_type != MSG_RO_ACCESS_REPORT:
+        raise ConfigurationError(
+            f"expected RO_ACCESS_REPORT, got message type {message_type}"
+        )
+    if length != len(data):
+        raise ConfigurationError("LLRP message length mismatch")
+    reports: List[TagReportData] = []
+    offset = 10
+    while offset < len(data):
+        param_type, body, offset = _read_tlv(data, offset)
+        if param_type == PARAM_TAG_REPORT_DATA:
+            reports.append(decode_tag_report(body))
+    return message_id, ReportBatch(reports)
+
+
+def split_stream(data: bytes) -> List[bytes]:
+    """Split a byte stream into whole LLRP frames (as a TCP reader would)."""
+    frames: List[bytes] = []
+    offset = 0
+    while offset + 10 <= len(data):
+        _header, length, _mid = struct.unpack_from(">HII", data, offset)
+        if length < 10 or offset + length > len(data):
+            raise ConfigurationError("corrupt frame in LLRP stream")
+        frames.append(data[offset : offset + length])
+        offset += length
+    if offset != len(data):
+        raise ConfigurationError("trailing bytes after last LLRP frame")
+    return frames

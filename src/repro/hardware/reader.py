@@ -1,0 +1,261 @@
+"""The simulated COTS RFID reader (Impinj Speedway-class).
+
+Ties the substrates together: Gen2 inventory decides *when* each tag is
+read; the backscatter channel decides *what* the reader observes; the clock
+model stamps reader/host timestamps; LLRP reports carry the results.  Up to
+four directional antennas are supported, matching the paper's hardware, and
+the reader can either stay on a fixed frequency channel or hop across the
+China-band hop table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.constants import NUM_CHANNELS, channel_frequencies, wavelength_for_frequency
+from repro.core.geometry import Point3, wrap_angle
+from repro.errors import ConfigurationError
+from repro.hardware.clock import ClockModel, timestamps_to_microseconds
+from repro.hardware.gen2 import Gen2Config, InventoryResult, simulate_inventory
+from repro.hardware.llrp import ReportBatch, ROSpec, TagReportData
+from repro.hardware.rotator import SpinningDisk
+from repro.hardware.tags import TagInstance
+from repro.rf.antenna import AntennaPort
+from repro.rf.channel import BackscatterChannel
+
+
+class FieldUnit(Protocol):
+    """Anything carrying a tag in the reader's field."""
+
+    tag: TagInstance
+
+    def position(self, time_s: float) -> Point3: ...
+
+    def positions(self, times_s: np.ndarray) -> np.ndarray: ...
+
+    def orientation(self, time_s: float, reader_position: Point3) -> float: ...
+
+    def orientations(
+        self, times_s: np.ndarray, reader_position: Point3
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class SpinningTagUnit:
+    """A tag mounted on a spinning disk."""
+
+    disk: SpinningDisk
+    tag: TagInstance
+
+    def position(self, time_s: float) -> Point3:
+        return self.disk.tag_position(time_s)
+
+    def positions(self, times_s: np.ndarray) -> np.ndarray:
+        return self.disk.tag_positions(times_s)
+
+    def orientation(self, time_s: float, reader_position: Point3) -> float:
+        return self.disk.tag_orientation(time_s, reader_position)
+
+    def orientations(
+        self, times_s: np.ndarray, reader_position: Point3
+    ) -> np.ndarray:
+        return self.disk.tag_orientations(times_s, reader_position)
+
+
+@dataclass(frozen=True)
+class StaticTagUnit:
+    """A stationary reference tag (used by the baseline systems)."""
+
+    tag: TagInstance
+    location: Point3
+    #: World attitude of the tag plane [rad].
+    attitude: float = math.pi / 2.0
+
+    def position(self, time_s: float) -> Point3:
+        return self.location
+
+    def positions(self, times_s: np.ndarray) -> np.ndarray:
+        times_s = np.asarray(times_s, dtype=float)
+        return np.tile(self.location.as_array(), (times_s.size, 1))
+
+    def orientation(self, time_s: float, reader_position: Point3) -> float:
+        bearing = math.atan2(
+            reader_position.y - self.location.y,
+            reader_position.x - self.location.x,
+        )
+        return wrap_angle(self.attitude - bearing)
+
+    def orientations(
+        self, times_s: np.ndarray, reader_position: Point3
+    ) -> np.ndarray:
+        times_s = np.asarray(times_s, dtype=float)
+        return np.full(times_s.shape, self.orientation(0.0, reader_position))
+
+
+@dataclass(frozen=True)
+class ReaderConfig:
+    """Reader-level configuration."""
+
+    frequency_hopping: bool = False
+    fixed_channel_index: int = NUM_CHANNELS // 2
+    hop_interval_s: float = 2.0
+    gen2: Gen2Config = field(default_factory=Gen2Config)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fixed_channel_index < NUM_CHANNELS:
+            raise ConfigurationError("fixed_channel_index out of range")
+        if self.hop_interval_s <= 0:
+            raise ConfigurationError("hop interval must be positive")
+
+
+class SimulatedReader:
+    """A multi-antenna UHF reader driving the simulation end to end."""
+
+    def __init__(
+        self,
+        antennas: Sequence[AntennaPort],
+        channel: Optional[BackscatterChannel] = None,
+        clock: Optional[ClockModel] = None,
+        config: Optional[ReaderConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        rssi_bias_db: Optional[float] = None,
+    ) -> None:
+        """``rssi_bias_db`` is the reader's absolute RSSI calibration error —
+        a constant offset on every report (COTS readers are only accurate to
+        a couple of dB absolute).  ``None`` draws it from the rng."""
+        if not antennas:
+            raise ConfigurationError("reader needs at least one antenna")
+        if len(antennas) > 4:
+            raise ConfigurationError(
+                "Speedway-class readers support at most four antennas"
+            )
+        ports = [a.port_id for a in antennas]
+        if len(set(ports)) != len(ports):
+            raise ConfigurationError("antenna port ids must be unique")
+        self.antennas: Dict[int, AntennaPort] = {a.port_id: a for a in antennas}
+        self.channel = channel if channel is not None else BackscatterChannel()
+        self.clock = clock if clock is not None else ClockModel()
+        self.config = config if config is not None else ReaderConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rssi_bias_db = (
+            float(rssi_bias_db)
+            if rssi_bias_db is not None
+            else float(self.rng.normal(0.0, 2.0))
+        )
+        self._frequencies = channel_frequencies()
+        self._hop_sequence = self.rng.permutation(len(self._frequencies))
+
+    def antenna(self, port: int) -> AntennaPort:
+        try:
+            return self.antennas[port]
+        except KeyError:
+            raise ConfigurationError(f"no antenna on port {port}") from None
+
+    def channel_index_at(self, time_s: float) -> int:
+        """Active frequency channel at ``time_s``."""
+        if not self.config.frequency_hopping:
+            return self.config.fixed_channel_index
+        hop = int(time_s // self.config.hop_interval_s)
+        return int(self._hop_sequence[hop % len(self._hop_sequence)])
+
+    def wavelength_for_channel(self, channel_index: int) -> float:
+        return wavelength_for_frequency(self._frequencies[channel_index])
+
+    def run(
+        self,
+        units: Sequence[FieldUnit],
+        rospec: ROSpec,
+        start_time_s: float = 0.0,
+    ) -> ReportBatch:
+        """Execute a ROSpec: inventory every unit on every listed antenna."""
+        if not units:
+            raise ConfigurationError("no tags in the field")
+        epcs = [unit.tag.epc for unit in units]
+        if len(set(epcs)) != len(epcs):
+            raise ConfigurationError("duplicate EPCs among field units")
+        batch = ReportBatch()
+        for port in rospec.antenna_ports:
+            batch.extend(
+                self._run_antenna(units, port, rospec.duration_s, start_time_s)
+            )
+        return batch.sorted_by_reader_time()
+
+    def _run_antenna(
+        self,
+        units: Sequence[FieldUnit],
+        port: int,
+        duration_s: float,
+        start_time_s: float,
+    ) -> List[TagReportData]:
+        antenna = self.antenna(port)
+        by_epc = {unit.tag.epc: unit for unit in units}
+
+        def participation(epc: str, time_s: float) -> float:
+            unit = by_epc[epc]
+            wavelength = self.wavelength_for_channel(self.channel_index_at(time_s))
+            return self.channel.read_probability(
+                antenna,
+                unit.tag,
+                unit.position(time_s),
+                unit.orientation(time_s, antenna.position),
+                wavelength,
+            )
+
+        inventory = simulate_inventory(
+            list(by_epc),
+            participation,
+            duration_s,
+            self.config.gen2,
+            self.rng,
+            start_time_s,
+        )
+        return self._observe_events(antenna, by_epc, inventory)
+
+    def _observe_events(
+        self,
+        antenna: AntennaPort,
+        by_epc: Dict[str, FieldUnit],
+        inventory: InventoryResult,
+    ) -> List[TagReportData]:
+        reports: List[TagReportData] = []
+        for epc, unit in by_epc.items():
+            events = inventory.events_for(epc)
+            if not events:
+                continue
+            times = np.array([event.time_s for event in events])
+            channels = np.array(
+                [self.channel_index_at(t) for t in times], dtype=int
+            )
+            wavelengths = np.array(
+                [self.wavelength_for_channel(c) for c in channels]
+            )
+            positions = unit.positions(times)
+            orientations = unit.orientations(times, antenna.position)
+            snapshot = self.channel.observe(
+                antenna, unit.tag, positions, orientations, wavelengths, self.rng
+            )
+            reader_us = timestamps_to_microseconds(
+                self.clock.reader_timestamps(times)
+            )
+            host_us = timestamps_to_microseconds(
+                self.clock.host_timestamps(times, self.rng)
+            )
+            for i in range(times.size):
+                if not snapshot.energized[i]:
+                    continue
+                reports.append(
+                    TagReportData(
+                        epc=epc,
+                        antenna_port=antenna.port_id,
+                        channel_index=int(channels[i]),
+                        reader_timestamp_us=int(reader_us[i]),
+                        host_timestamp_us=int(host_us[i]),
+                        phase_rad=float(snapshot.measured_phases_rad[i]),
+                        rssi_dbm=float(snapshot.rssi_dbm[i] + self.rssi_bias_db),
+                    )
+                )
+        return reports

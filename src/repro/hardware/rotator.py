@@ -1,0 +1,189 @@
+"""Spinning-disk kinematics.
+
+A tag is attached either to the rim of a motorized disk (normal operation)
+or to its center (the orientation-calibration prelude).  The disk rotates
+with a uniform angular speed.  Disks are normally horizontal (in the x-y
+plane, the paper's deployment), but an arbitrary plane orientation is
+supported so the paper's future-work extension — a third, vertically
+spinning tag for extra z-aperture — can be exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.geometry import Point3, wrap_angle
+from repro.errors import ConfigurationError
+
+
+class Mount(Enum):
+    """Where the tag sits on the disk."""
+
+    EDGE = "edge"
+    CENTER = "center"
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    if norm < 1e-12:
+        raise ConfigurationError("zero-length basis vector")
+    return vector / norm
+
+
+@dataclass(frozen=True)
+class SpinningDisk:
+    """A rotating disk carrying one tag.
+
+    Attributes
+    ----------
+    center : disk center in world coordinates [m]
+    radius : track radius [m]
+    angular_speed : ``omega`` [rad/s]; sign selects spin direction
+    phase0 : disk angle at ``t = 0`` [rad]
+    mount : edge (localization) or center (calibration prelude)
+    basis_u, basis_v : orthonormal vectors spanning the disk plane.  The
+        default is the horizontal plane (x-y); pass e.g. ``u = x``, ``v = z``
+        for a vertical disk.
+    """
+
+    center: Point3
+    radius: float
+    angular_speed: float
+    phase0: float = 0.0
+    mount: Mount = Mount.EDGE
+    basis_u: Tuple[float, float, float] = (1.0, 0.0, 0.0)
+    basis_v: Tuple[float, float, float] = (0.0, 1.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ConfigurationError("disk radius must be positive")
+        if self.angular_speed == 0:
+            raise ConfigurationError("angular speed must be non-zero")
+        u = _unit(np.asarray(self.basis_u, dtype=float))
+        v = _unit(np.asarray(self.basis_v, dtype=float))
+        if abs(float(np.dot(u, v))) > 1e-9:
+            raise ConfigurationError("disk basis vectors must be orthogonal")
+        object.__setattr__(self, "basis_u", tuple(u))
+        object.__setattr__(self, "basis_v", tuple(v))
+
+    @property
+    def period(self) -> float:
+        """Rotation period [s]."""
+        return 2.0 * math.pi / abs(self.angular_speed)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True when the disk lies in a plane parallel to x-y."""
+        normal = np.cross(self.basis_u, self.basis_v)
+        return bool(abs(abs(normal[2]) - 1.0) < 1e-9)
+
+    def disk_angle(self, time: float) -> float:
+        """Disk rotation angle at ``time`` [rad, wrapped to [0, 2*pi)]."""
+        return wrap_angle(self.phase0 + self.angular_speed * time)
+
+    def tag_position(self, time: float) -> Point3:
+        """World position of the tag at ``time``."""
+        if self.mount is Mount.CENTER:
+            return self.center
+        angle = self.phase0 + self.angular_speed * time
+        u = np.asarray(self.basis_u)
+        v = np.asarray(self.basis_v)
+        offset = self.radius * (math.cos(angle) * u + math.sin(angle) * v)
+        return Point3(
+            self.center.x + float(offset[0]),
+            self.center.y + float(offset[1]),
+            self.center.z + float(offset[2]),
+        )
+
+    def tag_positions(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`tag_position`; returns shape ``(n, 3)``."""
+        times = np.asarray(times, dtype=float)
+        if self.mount is Mount.CENTER:
+            return np.tile(self.center.as_array(), (times.size, 1))
+        angles = self.phase0 + self.angular_speed * times
+        u = np.asarray(self.basis_u)
+        v = np.asarray(self.basis_v)
+        offsets = self.radius * (
+            np.outer(np.cos(angles), u) + np.outer(np.sin(angles), v)
+        )
+        return self.center.as_array()[np.newaxis, :] + offsets
+
+    def tag_orientation(self, time: float, reader_position: Point3) -> float:
+        """Orientation ``rho``: angle between tag plane and tag-reader line.
+
+        The tag's antenna plane co-rotates with the disk, so its in-plane
+        attitude is the disk angle; ``rho`` is that attitude measured from
+        the bearing toward the reader, following the paper's definition in
+        Fig 5 (``rho(t)`` between the tag plane and the line OR).
+        """
+        tag = self.tag_position(time)
+        bearing = math.atan2(
+            reader_position.y - tag.y, reader_position.x - tag.x
+        )
+        return wrap_angle(self.disk_angle(time) - bearing)
+
+    def tag_orientations(
+        self, times: np.ndarray, reader_position: Point3
+    ) -> np.ndarray:
+        """Vectorized :meth:`tag_orientation`."""
+        times = np.asarray(times, dtype=float)
+        positions = self.tag_positions(times)
+        bearings = np.arctan2(
+            reader_position.y - positions[:, 1],
+            reader_position.x - positions[:, 0],
+        )
+        angles = self.phase0 + self.angular_speed * times
+        return np.mod(angles - bearings, 2.0 * math.pi)
+
+    def with_mount(self, mount: Mount) -> "SpinningDisk":
+        """Copy of this disk with the tag moved to ``mount``."""
+        return SpinningDisk(
+            center=self.center,
+            radius=self.radius,
+            angular_speed=self.angular_speed,
+            phase0=self.phase0,
+            mount=mount,
+            basis_u=self.basis_u,
+            basis_v=self.basis_v,
+        )
+
+
+def horizontal_disk(
+    center: Point3,
+    radius: float,
+    angular_speed: float,
+    phase0: float = 0.0,
+    mount: Mount = Mount.EDGE,
+) -> SpinningDisk:
+    """Disk spinning in a plane parallel to x-y (the paper's deployment)."""
+    return SpinningDisk(center, radius, angular_speed, phase0, mount)
+
+
+def vertical_disk(
+    center: Point3,
+    radius: float,
+    angular_speed: float,
+    azimuth: float = 0.0,
+    phase0: float = 0.0,
+    mount: Mount = Mount.EDGE,
+) -> SpinningDisk:
+    """Disk spinning in a vertical plane (future-work z-aperture extension).
+
+    ``azimuth`` orients the vertical plane: its in-plane horizontal basis
+    vector points along ``(cos(azimuth), sin(azimuth), 0)``; the second basis
+    vector is +z.
+    """
+    return SpinningDisk(
+        center,
+        radius,
+        angular_speed,
+        phase0,
+        mount,
+        basis_u=(math.cos(azimuth), math.sin(azimuth), 0.0),
+        basis_v=(0.0, 0.0, 1.0),
+    )

@@ -1,0 +1,1 @@
+"""RF substrate: propagation, antennas, noise, backscatter channel, multipath."""

@@ -1,0 +1,112 @@
+"""Reader antenna models.
+
+The paper uses four circularly polarized Yeon directional panel antennas.
+For the Tagspin algorithm only the phase matters, but the baselines (AntLoc
+in particular) and the Gen2 read-probability model need a directional gain
+pattern, so a standard ``cos^n`` panel pattern is provided, plus a steerable
+mount for AntLoc's rotating-antenna scan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.geometry import Point3, wrap_angle_signed
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PanelAntenna:
+    """Directional panel antenna with a ``cos^n`` pattern.
+
+    Attributes
+    ----------
+    boresight_azimuth : pointing direction in the horizontal plane [rad]
+    beamwidth : half-power beamwidth [rad]; sets the pattern exponent
+    front_back_ratio_db : suppression of the back hemisphere [dB]
+    """
+
+    boresight_azimuth: float = 0.0
+    beamwidth: float = math.radians(70.0)
+    front_back_ratio_db: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beamwidth < math.pi:
+            raise ConfigurationError("beamwidth must be in (0, pi)")
+
+    @property
+    def pattern_exponent(self) -> float:
+        """Exponent ``n`` such that the pattern is -3 dB at half beamwidth."""
+        half = self.beamwidth / 2.0
+        return math.log(0.5) / (2.0 * math.log(math.cos(half)))
+
+    def relative_gain_db(self, azimuth: float | np.ndarray) -> np.ndarray | float:
+        """Pattern gain [dB <= 0] toward ``azimuth`` (horizontal plane)."""
+        offset = np.asarray(
+            wrap_angle_signed(np.asarray(azimuth, dtype=float) - self.boresight_azimuth)
+        )
+        scalar = offset.ndim == 0
+        offset = np.atleast_1d(offset)
+        gain = np.full(offset.shape, -self.front_back_ratio_db)
+        front = np.abs(offset) < math.pi / 2.0
+        cos_term = np.cos(offset[front]) ** (2.0 * self.pattern_exponent)
+        gain[front] = 10.0 * np.log10(np.maximum(cos_term, 1e-12))
+        gain = np.maximum(gain, -self.front_back_ratio_db)
+        return float(gain[0]) if scalar else gain
+
+    def steered(self, azimuth: float) -> "PanelAntenna":
+        """Copy of this antenna rotated to point at ``azimuth``."""
+        return PanelAntenna(
+            boresight_azimuth=azimuth,
+            beamwidth=self.beamwidth,
+            front_back_ratio_db=self.front_back_ratio_db,
+        )
+
+
+@dataclass(frozen=True)
+class AntennaPort:
+    """One physical reader antenna: position, pattern and its hardware offset.
+
+    ``diversity_rad`` is the antenna-side contribution to the per-link
+    ``theta_div`` constant (cable length, RF front end); the tag contributes
+    its own share (``TagInstance.diversity_rad``).
+    """
+
+    port_id: int
+    position: Point3
+    pattern: PanelAntenna
+    diversity_rad: float = 0.0
+
+    def relative_gain_toward(self, target: Point3) -> float:
+        """Pattern gain [dB] toward a world-space target point."""
+        azimuth = math.atan2(
+            target.y - self.position.y, target.x - self.position.x
+        )
+        return float(self.pattern.relative_gain_db(azimuth))
+
+
+def omni_antenna() -> PanelAntenna:
+    """A nearly omnidirectional pattern (wide beam, weak front/back)."""
+    return PanelAntenna(beamwidth=math.radians(170.0), front_back_ratio_db=3.0)
+
+
+def make_antenna_port(
+    port_id: int,
+    position: Point3,
+    boresight_azimuth: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AntennaPort:
+    """Build an antenna port; boresight defaults to facing the origin."""
+    if boresight_azimuth is None:
+        boresight_azimuth = math.atan2(-position.y, -position.x)
+    diversity = float(rng.uniform(0.0, 2.0 * math.pi)) if rng is not None else 0.0
+    return AntennaPort(
+        port_id=port_id,
+        position=position,
+        pattern=PanelAntenna(boresight_azimuth=boresight_azimuth),
+        diversity_rad=diversity,
+    )

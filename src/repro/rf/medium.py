@@ -1,0 +1,128 @@
+"""Propagation medium: path loss and the backscatter link budget.
+
+Standard monostatic UHF RFID link model: the reader transmits at
+``tx_power_dbm``; the forward link loses FSPL plus antenna gains; the tag
+absorbs a fraction and backscatters with a modulation loss; the return link
+loses FSPL again.  The resulting received power is what the reader reports
+as RSSI and what gates whether the tag is energized at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def free_space_path_loss_db(distance_m: float | np.ndarray, wavelength_m: float) -> np.ndarray | float:
+    """One-way free-space path loss [dB] at ``distance_m``.
+
+    ``FSPL = 20 log10(4 * pi * d / lambda)``; distances below 1 cm are
+    clamped to avoid the near-field singularity (the model is far-field).
+    """
+    distance = np.maximum(np.asarray(distance_m, dtype=float), 0.01)
+    loss = 20.0 * np.log10(4.0 * math.pi * distance / wavelength_m)
+    return float(loss) if np.ndim(distance_m) == 0 else loss
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Monostatic backscatter link budget parameters.
+
+    Attributes
+    ----------
+    tx_power_dbm : reader conducted transmit power (30 dBm = 1 W, the usual
+        regulatory limit)
+    reader_gain_dbi : reader antenna boresight gain
+    tag_gain_dbi : tag antenna peak gain
+    polarization_loss_db : circular-reader to linear-tag mismatch (~3 dB)
+    backscatter_loss_db : modulation/backscatter efficiency loss
+    tag_sensitivity_dbm : minimum forward power to energize the tag chip
+    reader_sensitivity_dbm : minimum backscatter power the reader can decode
+    """
+
+    tx_power_dbm: float = 30.0
+    reader_gain_dbi: float = 8.0
+    tag_gain_dbi: float = 2.0
+    polarization_loss_db: float = 3.0
+    backscatter_loss_db: float = 6.0
+    tag_sensitivity_dbm: float = -18.0
+    reader_sensitivity_dbm: float = -84.0
+
+    def forward_power_dbm(
+        self,
+        distance_m: float | np.ndarray,
+        wavelength_m: float,
+        reader_gain_db: float | np.ndarray = 0.0,
+        tag_gain_db: float | np.ndarray = 0.0,
+    ) -> np.ndarray | float:
+        """Power arriving at the tag chip [dBm].
+
+        ``reader_gain_db``/``tag_gain_db`` are *relative* pattern gains
+        (<= 0 dB) on top of the boresight/peak gains.
+        """
+        return (
+            self.tx_power_dbm
+            + self.reader_gain_dbi
+            + reader_gain_db
+            + self.tag_gain_dbi
+            + tag_gain_db
+            - self.polarization_loss_db
+            - free_space_path_loss_db(distance_m, wavelength_m)
+        )
+
+    def backscatter_power_dbm(
+        self,
+        distance_m: float | np.ndarray,
+        wavelength_m: float,
+        reader_gain_db: float | np.ndarray = 0.0,
+        tag_gain_db: float | np.ndarray = 0.0,
+    ) -> np.ndarray | float:
+        """Backscattered power back at the reader [dBm] (the reported RSSI)."""
+        forward = self.forward_power_dbm(
+            distance_m, wavelength_m, reader_gain_db, tag_gain_db
+        )
+        return (
+            forward
+            - self.backscatter_loss_db
+            + self.tag_gain_dbi
+            + tag_gain_db
+            + self.reader_gain_dbi
+            + reader_gain_db
+            - self.polarization_loss_db
+            - free_space_path_loss_db(distance_m, wavelength_m)
+        )
+
+    def tag_energized(
+        self,
+        distance_m: float | np.ndarray,
+        wavelength_m: float,
+        reader_gain_db: float | np.ndarray = 0.0,
+        tag_gain_db: float | np.ndarray = 0.0,
+    ) -> np.ndarray | bool:
+        """Whether the forward power reaches the chip sensitivity."""
+        forward = self.forward_power_dbm(
+            distance_m, wavelength_m, reader_gain_db, tag_gain_db
+        )
+        result = np.asarray(forward) >= self.tag_sensitivity_dbm
+        return bool(result) if np.ndim(forward) == 0 else result
+
+    def decodable(
+        self,
+        rssi_dbm: float | np.ndarray,
+    ) -> np.ndarray | bool:
+        """Whether the backscatter is above the reader sensitivity."""
+        result = np.asarray(rssi_dbm) >= self.reader_sensitivity_dbm
+        return bool(result) if np.ndim(rssi_dbm) == 0 else result
+
+
+def dbm_to_milliwatt(dbm: float | np.ndarray) -> np.ndarray | float:
+    """Convert dBm to linear milliwatts."""
+    return np.power(10.0, np.asarray(dbm, dtype=float) / 10.0)
+
+
+def milliwatt_to_dbm(mw: float | np.ndarray) -> np.ndarray | float:
+    """Convert linear milliwatts to dBm."""
+    mw = np.asarray(mw, dtype=float)
+    return 10.0 * np.log10(np.maximum(mw, 1e-15))

@@ -1,0 +1,166 @@
+"""First-order indoor multipath via the image method.
+
+A rectangular room with four reflecting walls; each wall contributes one
+first-order specular reflection computed by mirroring the reader across the
+wall plane.  The composite channel is the complex sum of the line-of-sight
+ray and the (attenuated, delayed) reflected rays.
+
+Tagspin itself ignores multipath (its enhanced profile is robust to it);
+this module exists for robustness ablations and for the PinIt-style
+baseline, which *relies* on multipath/spatial profiles as location
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RoomModel:
+    """Axis-aligned rectangular room ``[x0, x1] x [y0, y1]``.
+
+    Attributes
+    ----------
+    reflection_coefficient : wall amplitude reflection coefficient (0..1)
+    """
+
+    x0: float
+    x1: float
+    y0: float
+    y1: float
+    reflection_coefficient: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ConfigurationError("room must have positive extent")
+        if not 0.0 <= self.reflection_coefficient <= 1.0:
+            raise ConfigurationError("reflection coefficient must be in [0, 1]")
+
+    def contains(self, point: Point3) -> bool:
+        return (
+            self.x0 <= point.x <= self.x1 and self.y0 <= point.y <= self.y1
+        )
+
+    def wall_images(self, point: Point3) -> List[Point3]:
+        """Mirror images of ``point`` across each of the four walls."""
+        return [
+            Point3(2.0 * self.x0 - point.x, point.y, point.z),
+            Point3(2.0 * self.x1 - point.x, point.y, point.z),
+            Point3(point.x, 2.0 * self.y0 - point.y, point.z),
+            Point3(point.x, 2.0 * self.y1 - point.y, point.z),
+        ]
+
+
+@dataclass(frozen=True)
+class Ray:
+    """One propagation path from reader to tag.
+
+    ``departure_azimuth`` is the horizontal direction the ray leaves the
+    reader in — toward the tag for line of sight, toward the *tag's wall
+    image* for a reflection.  Directional reader antennas weight each ray by
+    their pattern gain in that direction, which is what makes the multipath
+    ripple depend on antenna pointing (and what limits RSS-scan methods).
+    """
+
+    path_length: float
+    amplitude: float
+    departure_azimuth: float
+
+
+def centered_room(width: float, length: float, **kwargs) -> RoomModel:
+    """A ``width x length`` room centered on the origin."""
+    return RoomModel(-width / 2.0, width / 2.0, -length / 2.0, length / 2.0, **kwargs)
+
+
+def multipath_rays(
+    room: RoomModel, reader: Point3, tag: Point3
+) -> List[Ray]:
+    """Return the propagation paths from reader to tag, LoS first.
+
+    Amplitudes are relative to the LoS ray at the same distance: a reflected
+    ray is weaker by the reflection coefficient and by the extra spreading
+    ``d_los / d_ray``.  Reflected path lengths and departure directions come
+    from mirroring the *tag* across each wall (image method).
+    """
+    los = reader.distance_to(tag)
+    rays: List[Ray] = [
+        Ray(
+            path_length=los,
+            amplitude=1.0,
+            departure_azimuth=math.atan2(tag.y - reader.y, tag.x - reader.x),
+        )
+    ]
+    for image in room.wall_images(tag):
+        path = reader.distance_to(image)
+        amplitude = room.reflection_coefficient * (los / max(path, 1e-6))
+        rays.append(
+            Ray(
+                path_length=path,
+                amplitude=amplitude,
+                departure_azimuth=math.atan2(
+                    image.y - reader.y, image.x - reader.x
+                ),
+            )
+        )
+    return rays
+
+
+def multipath_complex_gain(
+    room: RoomModel,
+    reader: Point3,
+    tag: Point3,
+    wavelength: float,
+    pattern_gain_db=None,
+) -> complex:
+    """Composite channel gain relative to the pure-LoS channel.
+
+    Each ray contributes ``a_k * exp(-j * 4*pi * (d_k - d_los) / lambda)``
+    (round-trip excess phase); the LoS term has amplitude 1 by construction,
+    so the result is 1 when reflections vanish.  ``pattern_gain_db`` is an
+    optional callable ``azimuth -> relative gain [dB]`` of the reader
+    antenna; each ray is weighted (round trip, hence twice) by the pattern
+    toward its departure direction relative to the LoS direction.
+    """
+    rays = multipath_rays(room, reader, tag)
+    d_los = rays[0].path_length
+    if pattern_gain_db is not None:
+        los_gain_db = float(pattern_gain_db(rays[0].departure_azimuth))
+    gain = 0.0 + 0.0j
+    for ray in rays:
+        amplitude = ray.amplitude
+        if pattern_gain_db is not None:
+            relative_db = float(pattern_gain_db(ray.departure_azimuth)) - los_gain_db
+            amplitude *= 10.0 ** (2.0 * relative_db / 20.0)
+        excess = 4.0 * math.pi * (ray.path_length - d_los) / wavelength
+        gain += amplitude * np.exp(-1j * excess)
+    return complex(gain)
+
+
+def frequency_profile(
+    room: RoomModel,
+    reader: Point3,
+    tag: Point3,
+    wavelengths: np.ndarray,
+) -> np.ndarray:
+    """Complex channel response across frequency channels.
+
+    This is the location fingerprint the PinIt-style baseline matches with
+    dynamic time warping: both the absolute distance (through the phase
+    slope across frequency) and the multipath micro-structure are encoded.
+    """
+    wavelengths = np.asarray(wavelengths, dtype=float)
+    rays = multipath_rays(room, reader, tag)
+    response = np.zeros(wavelengths.shape, dtype=complex)
+    for ray in rays:
+        response += ray.amplitude * np.exp(
+            -1j * 4.0 * math.pi * ray.path_length / wavelengths
+        )
+    return response

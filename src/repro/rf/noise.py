@@ -1,0 +1,67 @@
+"""Measurement-noise models.
+
+The paper adopts (after Tagoram) a Gaussian model for phase measurement
+error with a standard deviation of 0.1 rad; RSSI reports are quantized to
+0.5 dB by Impinj readers and carry roughly 1 dB of noise.  An optional
+outlier process injects the occasional pi phase jump real readers exhibit
+(ambiguity of the demodulator), which the paper's profile method is robust
+to and which the failure-injection tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import PHASE_NOISE_STD_RAD
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Phase/RSSI noise applied to every simulated read.
+
+    Attributes
+    ----------
+    phase_std_rad : Gaussian phase noise sigma [rad]
+    rssi_std_db : Gaussian RSSI noise sigma [dB]
+    rssi_quantum_db : RSSI report quantization step [dB]
+    pi_jump_probability : probability a read suffers a +pi demodulation slip
+    """
+
+    phase_std_rad: float = PHASE_NOISE_STD_RAD
+    rssi_std_db: float = 1.0
+    rssi_quantum_db: float = 0.5
+    pi_jump_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.phase_std_rad < 0 or self.rssi_std_db < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if not 0.0 <= self.pi_jump_probability <= 1.0:
+            raise ValueError("pi_jump_probability must be a probability")
+
+    def corrupt_phase(
+        self, phases: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply Gaussian noise (and optional pi slips) to true phases."""
+        phases = np.asarray(phases, dtype=float)
+        noisy = phases + self.phase_std_rad * rng.standard_normal(phases.shape)
+        if self.pi_jump_probability > 0.0:
+            slips = rng.random(phases.shape) < self.pi_jump_probability
+            noisy = noisy + np.pi * slips
+        return np.mod(noisy, 2.0 * np.pi)
+
+    def corrupt_rssi(
+        self, rssi_dbm: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply Gaussian noise and quantization to true RSSI values."""
+        rssi_dbm = np.asarray(rssi_dbm, dtype=float)
+        noisy = rssi_dbm + self.rssi_std_db * rng.standard_normal(rssi_dbm.shape)
+        if self.rssi_quantum_db > 0:
+            noisy = np.round(noisy / self.rssi_quantum_db) * self.rssi_quantum_db
+        return noisy
+
+
+NOISELESS = NoiseModel(
+    phase_std_rad=0.0, rssi_std_db=0.0, rssi_quantum_db=0.0, pi_jump_probability=0.0
+)

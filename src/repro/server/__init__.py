@@ -1,0 +1,1 @@
+"""The central localization server: registry and report-stream service."""

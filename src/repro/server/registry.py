@@ -1,0 +1,78 @@
+"""The central localization server's knowledge base.
+
+The paper's infrastructure "includes a central localization server which
+stores the spinning tags' locations, moving speeds and other system
+settings".  :class:`TagRegistry` is that store: for every infrastructure EPC
+it keeps the disk kinematics (center, radius, angular speed, phase
+reference) and, once the calibration prelude has run, the fitted
+phase-orientation profile.
+
+The disk's ``phase0`` is expressed in the *reader* clock's time base: the
+disk controller and the reader are synchronized once at deployment (the
+paper's reliance on reader timestamps makes this the natural contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.calibration import OrientationProfile
+from repro.errors import ConfigurationError, UnknownTagError
+from repro.hardware.rotator import SpinningDisk
+
+
+@dataclass(frozen=True)
+class SpinningTagRecord:
+    """Everything the server knows about one infrastructure tag."""
+
+    epc: str
+    disk: SpinningDisk
+    model_key: str = "squiggle"
+    orientation_profile: Optional[OrientationProfile] = None
+
+    def with_profile(self, profile: OrientationProfile) -> "SpinningTagRecord":
+        return replace(self, orientation_profile=profile)
+
+
+class TagRegistry:
+    """Registry of spinning infrastructure tags, keyed by EPC."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SpinningTagRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, epc: str) -> bool:
+        return epc in self._records
+
+    def __iter__(self) -> Iterator[SpinningTagRecord]:
+        return iter(self._records.values())
+
+    def register(self, record: SpinningTagRecord) -> None:
+        if record.epc in self._records:
+            raise ConfigurationError(f"EPC {record.epc} already registered")
+        self._records[record.epc] = record
+
+    def get(self, epc: str) -> SpinningTagRecord:
+        try:
+            return self._records[epc]
+        except KeyError:
+            raise UnknownTagError(
+                f"EPC {epc} is not a registered spinning tag"
+            ) from None
+
+    def epcs(self) -> List[str]:
+        return list(self._records)
+
+    def set_orientation_profile(
+        self, epc: str, profile: OrientationProfile
+    ) -> None:
+        """Attach a fitted phase-orientation profile to a registered tag."""
+        self._records[epc] = self.get(epc).with_profile(profile)
+
+    def unregister(self, epc: str) -> None:
+        if epc not in self._records:
+            raise UnknownTagError(f"EPC {epc} is not registered")
+        del self._records[epc]

@@ -1,0 +1,139 @@
+"""The central localization server.
+
+The paper's infrastructure includes "a central localization server which
+stores the spinning tags' locations, moving speeds and other system
+settings"; readers stream their signal snapshots to it and it answers with
+their positions.  :class:`LocalizationServer` is that component: it ingests
+LLRP reports incrementally (from any number of readers/antennas), tracks
+per-antenna report buffers and serves 2D/3D position queries through the
+Tagspin pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.locator import Fix2D, Fix3D
+from repro.core.pipeline import PipelineConfig, TagspinSystem
+from repro.errors import InsufficientDataError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.server.registry import TagRegistry
+
+#: A stream is identified by (reader name, antenna port).
+StreamKey = Tuple[str, int]
+
+
+@dataclass
+class StreamBuffer:
+    """Per-(reader, antenna) accumulation of reports."""
+
+    reports: List[TagReportData] = field(default_factory=list)
+
+    def spinning_read_counts(self, registry: TagRegistry) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for report in self.reports:
+            if report.epc in registry:
+                counts[report.epc] = counts.get(report.epc, 0) + 1
+        return counts
+
+
+class LocalizationServer:
+    """Ingests report streams and answers reader-position queries."""
+
+    def __init__(
+        self,
+        registry: TagRegistry,
+        config: Optional[PipelineConfig] = None,
+        max_buffer: int = 100_000,
+    ) -> None:
+        if max_buffer < 1:
+            raise ValueError("max_buffer must be positive")
+        self.registry = registry
+        self.system = TagspinSystem(registry, config)
+        self.max_buffer = max_buffer
+        self._streams: Dict[StreamKey, StreamBuffer] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self, reader_name: str, reports: Iterable[TagReportData]
+    ) -> int:
+        """Append reports to the appropriate stream buffers.
+
+        Reports for EPCs not in the registry are kept too (the reader may
+        also see ordinary tags); the pipeline filters by registry itself.
+        Returns the number of reports accepted.
+        """
+        accepted = 0
+        for report in reports:
+            key = (reader_name, report.antenna_port)
+            buffer = self._streams.setdefault(key, StreamBuffer())
+            buffer.reports.append(report)
+            if len(buffer.reports) > self.max_buffer:
+                # Keep the freshest window; old snapshots describe a stale
+                # disk phase anyway.
+                del buffer.reports[: len(buffer.reports) - self.max_buffer]
+            accepted += 1
+        return accepted
+
+    def streams(self) -> List[StreamKey]:
+        return sorted(self._streams)
+
+    def stream_report_count(self, reader_name: str, antenna_port: int) -> int:
+        buffer = self._streams.get((reader_name, antenna_port))
+        return len(buffer.reports) if buffer else 0
+
+    def clear(self, reader_name: str, antenna_port: Optional[int] = None) -> None:
+        """Drop buffered reports of one reader (optionally one antenna)."""
+        keys = [
+            key
+            for key in self._streams
+            if key[0] == reader_name
+            and (antenna_port is None or key[1] == antenna_port)
+        ]
+        for key in keys:
+            del self._streams[key]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _batch_for(self, reader_name: str, antenna_port: int) -> ReportBatch:
+        buffer = self._streams.get((reader_name, antenna_port))
+        if buffer is None or not buffer.reports:
+            raise InsufficientDataError(
+                f"no reports buffered for {reader_name!r} antenna {antenna_port}"
+            )
+        return ReportBatch(list(buffer.reports))
+
+    def locate_antenna_2d(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Fix2D:
+        """2D position of one reader antenna from its buffered stream."""
+        batch = self._batch_for(reader_name, antenna_port)
+        return self.system.locate_2d(batch, antenna_port)
+
+    def locate_antenna_3d(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Fix3D:
+        """3D position of one reader antenna from its buffered stream."""
+        batch = self._batch_for(reader_name, antenna_port)
+        return self.system.locate_3d(batch, antenna_port)
+
+    def locate_all_2d(self, reader_name: str) -> Dict[int, Fix2D]:
+        """Locate every antenna of ``reader_name`` that has buffered data.
+
+        Antennas whose buffers cannot support a fix are skipped — the paper
+        calibrates "even multiple target antennas" in one pass, and partial
+        coverage is normal while the reader is still interrogating.
+        """
+        fixes: Dict[int, Fix2D] = {}
+        for name, port in self.streams():
+            if name != reader_name:
+                continue
+            try:
+                fixes[port] = self.locate_antenna_2d(name, port)
+            except InsufficientDataError:
+                continue
+        return fixes

@@ -1,0 +1,1 @@
+"""Scenario construction, experiment running and metrics."""

@@ -1,0 +1,321 @@
+"""Head-to-head comparison of Tagspin against the four baselines (VII-B).
+
+The paper quotes the published accuracy of LandMARC, AntLoc, PinIt and
+BackPos; here the comparison is run *live* — every system localizes the
+same reader poses on the same simulated physical substrate:
+
+* **Tagspin** uses the two spinning tags.
+* **LandMARC** uses a grid of static reference tags and RSSI fingerprints.
+* **AntLoc** physically rotates the reader's directional antenna and
+  triangulates bearings to the reference tags.
+* **PinIt** DTW-matches frequency-domain profiles of the reference tags
+  (collected with frequency hopping, in a multipath room).
+* **BackPos** uses calibrated pairwise phase differences of the reference
+  tags (hyperbolic positioning).
+
+All systems run in the *same multipath office* (image-method wall
+reflections) — the paper's deployment was a real office, and multipath is
+precisely what separates the systems: the SAR-style profiles (Tagspin,
+PinIt) tolerate it, RSS-pattern methods (LandMARC, AntLoc) and raw phase
+differences (BackPos) degrade.  BackPos is additionally restricted to four
+reference tags, matching the four antennas of the published system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.antloc import AntlocLocalizer, bearing_from_scan, run_antenna_scan
+from repro.baselines.backpos import BackposLocalizer
+from repro.baselines.base import BaselineFix
+from repro.baselines.landmarc import LandmarcLocalizer
+from repro.baselines.pinit import PinitLocalizer
+from repro.core.geometry import Point2, Point3
+from repro.errors import InsufficientDataError, TagspinError
+from repro.hardware.clock import ClockModel
+from repro.hardware.llrp import ROSpec
+from repro.hardware.reader import ReaderConfig, SimulatedReader
+from repro.rf.antenna import AntennaPort, PanelAntenna
+from repro.rf.channel import BackscatterChannel
+from repro.rf.multipath import RoomModel
+from repro.sim.metrics import ErrorCollection, ErrorSample, ErrorSummary
+from repro.sim.scenario import TagspinScenario
+from repro.sim.scene import reference_grid, sample_reader_positions_2d
+
+
+@dataclass
+class SystemResult:
+    """Error samples of one system across the comparison poses."""
+
+    name: str
+    errors: ErrorCollection = field(default_factory=ErrorCollection)
+    failures: int = 0
+
+    def summary(self) -> ErrorSummary:
+        return self.errors.summary()
+
+
+class BaselineComparison:
+    """Runs every system over the same random reader poses."""
+
+    def __init__(
+        self,
+        scenario: TagspinScenario,
+        grid_rows: int = 3,
+        grid_columns: int = 4,
+        grid_spacing: float = 0.8,
+        seed: int = 7,
+    ) -> None:
+        self.scenario = scenario
+        self.rng = np.random.default_rng(seed)
+        self.reference_units = reference_grid(
+            grid_rows,
+            grid_columns,
+            grid_spacing,
+            origin=Point3(0.0, 1.6, 0.0),
+            rng=self.rng,
+        )
+        # Everyone, Tagspin included, lives in the same multipath office.
+        # The effective reflection coefficient is set below the bare-wall
+        # figure because every system here uses circularly polarized reader
+        # antennas: a specular bounce reverses the CP handedness, so
+        # single-bounce paths suffer the antenna's cross-pol rejection.
+        base = scenario.scene.room
+        self.room = RoomModel(
+            base.x0, base.x1, base.y0, base.y1, reflection_coefficient=0.2
+        )
+        noise = scenario.config.noise
+        self.channel = BackscatterChannel(noise=noise, room=self.room)
+        scenario.channel.room = self.room
+
+        self.landmarc = LandmarcLocalizer(self.reference_units)
+        corners = [
+            self.reference_units[0],
+            self.reference_units[grid_columns - 1],
+            self.reference_units[(grid_rows - 1) * grid_columns],
+            self.reference_units[grid_rows * grid_columns - 1],
+        ]
+        # BackPos gets five well-spread references — close to the published
+        # system's four antennas (four corners leave residual lobe aliasing
+        # that the real system's feasible-region constraint rules out; the
+        # fifth reference plays that role here, alongside the RSSI-grade
+        # prior passed at locate time).
+        middle_row = grid_rows // 2
+        self.backpos = BackposLocalizer(
+            corners + [self.reference_units[middle_row * grid_columns]]
+        )
+        self.pinit = PinitLocalizer(self.reference_units, room=self.room)
+        # AntLoc likewise worked with a handful of tags and a coarse
+        # mechanical scan (published accuracy ~tens of cm).
+        self.antloc = AntlocLocalizer(corners)
+        self._antloc_units = corners
+        self._antloc_steps = 8
+
+    # ------------------------------------------------------------------
+    # Collection helpers
+    # ------------------------------------------------------------------
+    def _make_reader(
+        self,
+        position: Point2,
+        hopping: bool,
+        boresight: Optional[float] = None,
+        rssi_bias_db: Optional[float] = None,
+    ) -> SimulatedReader:
+        pattern = (
+            PanelAntenna(boresight_azimuth=boresight)
+            if boresight is not None
+            else PanelAntenna(
+                boresight_azimuth=math.atan2(-position.y, -position.x),
+                beamwidth=math.radians(170.0),
+                front_back_ratio_db=3.0,
+            )
+        )
+        antenna = AntennaPort(
+            port_id=1,
+            position=Point3(position.x, position.y, 0.0),
+            pattern=pattern,
+            diversity_rad=float(self.rng.uniform(0.0, 2.0 * math.pi)),
+        )
+        return SimulatedReader(
+            antennas=[antenna],
+            channel=self.channel,
+            clock=ClockModel(),
+            config=ReaderConfig(
+                frequency_hopping=hopping, hop_interval_s=0.2
+            ),
+            rng=self.rng,
+            rssi_bias_db=rssi_bias_db,
+        )
+
+    def _collect_aperture(self, position: Point2, dwell_s: float = 1.5):
+        """PinIt's collection: one antenna moved along a 4-position slider.
+
+        One physical antenna means one shared diversity constant across the
+        aperture positions — the property PinIt's relative phases rely on.
+        """
+        shared_diversity = float(self.rng.uniform(0.0, 2.0 * math.pi))
+        omni = PanelAntenna(
+            boresight_azimuth=math.atan2(-position.y, -position.x),
+            beamwidth=math.radians(170.0),
+            front_back_ratio_db=3.0,
+        )
+        antennas = [
+            AntennaPort(
+                port_id=index + 1,
+                position=Point3(position.x + dx, position.y, 0.0),
+                pattern=omni,
+                diversity_rad=shared_diversity,
+            )
+            for index, dx in enumerate(self.pinit.aperture_offsets)
+        ]
+        reader = SimulatedReader(
+            antennas=antennas,
+            channel=self.channel,
+            clock=ClockModel(),
+            config=ReaderConfig(frequency_hopping=False),
+            rng=self.rng,
+        )
+        ports = tuple(range(1, len(antennas) + 1))
+        return reader.run(
+            self.reference_units,
+            ROSpec(duration_s=dwell_s, antenna_ports=ports),
+        )
+
+    def _collect_fixed(self, position: Point2, duration_s: float = 2.0):
+        reader = self._make_reader(position, hopping=False)
+        return reader.run(self.reference_units, ROSpec(duration_s=duration_s))
+
+    def _collect_hopping(self, position: Point2, duration_s: float = 6.5):
+        reader = self._make_reader(position, hopping=True)
+        return reader.run(self.reference_units, ROSpec(duration_s=duration_s))
+
+    def _antloc_bearings(self, position: Point2) -> Dict[str, float]:
+        # One physical reader rotates its antenna, so the absolute RSSI
+        # bias is constant across the whole scan.
+        scan_bias = float(self.rng.normal(0.0, 2.0))
+
+        def factory(boresight: float) -> SimulatedReader:
+            return self._make_reader(
+                position,
+                hopping=False,
+                boresight=boresight,
+                rssi_bias_db=scan_bias,
+            )
+
+        boresights = np.linspace(
+            0.0, 2.0 * math.pi, self._antloc_steps, endpoint=False
+        )
+        scan = run_antenna_scan(factory, self._antloc_units, boresights)
+        bearings = {}
+        for epc, rssi in scan.rssi.items():
+            try:
+                bearings[epc] = bearing_from_scan(scan.boresights, rssi)
+            except InsufficientDataError:
+                continue
+        return bearings
+
+    # ------------------------------------------------------------------
+    # The comparison
+    # ------------------------------------------------------------------
+    def calibrate(self, known_pose: Optional[Point2] = None) -> None:
+        """One-off deployment calibration: Tagspin's orientation prelude and
+        BackPos's pairwise offsets, both from a known reader pose."""
+        pose = (
+            known_pose
+            if known_pose is not None
+            else self.scenario.config.calibration_pose.horizontal()
+        )
+        self.scenario.run_orientation_prelude()
+        batch = self._collect_hopping(pose, duration_s=6.0)
+        self.backpos.calibrate_offsets(batch, pose)
+
+    def run(
+        self, poses: Optional[Sequence[Point2]] = None, trials: int = 10
+    ) -> List[SystemResult]:
+        if poses is None:
+            centers = [u.disk.center for u in self.scenario.scene.spinning_units]
+            poses = sample_reader_positions_2d(
+                trials, self.rng, disk_centers=centers
+            )
+        results = {
+            name: SystemResult(name=name)
+            for name in ["Tagspin", "LandMARC", "AntLoc", "PinIt", "BackPos"]
+        }
+        for pose in poses:
+            self._run_tagspin(pose, results["Tagspin"])
+            coarse_fix = self._run_baseline(
+                results["LandMARC"],
+                pose,
+                lambda: self.landmarc.locate(self._collect_fixed(pose)),
+            )
+            self._run_baseline(
+                results["AntLoc"], pose, lambda: self._antloc_fix(pose)
+            )
+            self._run_baseline(
+                results["PinIt"],
+                pose,
+                lambda: self.pinit.locate(self._collect_aperture(pose)),
+            )
+            # BackPos's feasible-region prior comes from the RSSI-grade fix.
+            prior = coarse_fix.position if coarse_fix is not None else None
+            self._run_baseline(
+                results["BackPos"],
+                pose,
+                lambda: self.backpos.locate(
+                    self._collect_hopping(pose), prior_center=prior
+                ),
+            )
+        return list(results.values())
+
+    def _antloc_fix(self, pose: Point2) -> BaselineFix:
+        self.antloc.set_bearings(self._antloc_bearings(pose))
+        return self.antloc.locate_from_bearings()
+
+    def _run_tagspin(self, pose: Point2, result: SystemResult) -> None:
+        try:
+            _fix, error = self.scenario.locate_2d(pose)
+        except TagspinError:
+            result.failures += 1
+            return
+        result.errors.add(error)
+
+    def _run_baseline(
+        self,
+        result: SystemResult,
+        pose: Point2,
+        runner: Callable[[], BaselineFix],
+    ) -> Optional[BaselineFix]:
+        try:
+            fix = runner()
+        except TagspinError:
+            result.failures += 1
+            return None
+        result.errors.add(
+            ErrorSample(
+                x=abs(fix.position.x - pose.x), y=abs(fix.position.y - pose.y)
+            )
+        )
+        return fix
+
+
+def format_comparison_table(results: Sequence[SystemResult]) -> str:
+    """Render the VII-B comparison with improvement factors over Tagspin."""
+    tagspin = next(r for r in results if r.name == "Tagspin")
+    tagspin_mean = tagspin.summary().mean
+    lines = [
+        f"{'system':>10} | mean_cm | std_cm | p90_cm | factor_vs_tagspin | fails"
+    ]
+    lines.append("-" * len(lines[0]))
+    for result in results:
+        stats = result.summary().as_centimeters()
+        factor = result.summary().mean / tagspin_mean
+        lines.append(
+            f"{result.name:>10} | {stats['mean_cm']:>7.2f} | "
+            f"{stats['std_cm']:>6.2f} | {stats['p90_cm']:>6.2f} | "
+            f"{factor:>17.2f} | {result.failures:>5d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Fault injection on report streams.
+
+Real deployments fail in ways the clean simulator never shows: readers
+drop reports under load, interference bursts randomize phases for a spell,
+disk motors stall, cables cut a tag's reads entirely.  These transforms
+inject such faults into a recorded :class:`ReportBatch` so tests and
+benchmarks can verify two properties of the stack:
+
+* the pipeline either still produces an accurate fix or raises
+  :class:`~repro.errors.InsufficientDataError` — it must not silently emit
+  a wild position; and
+* the deployment monitor (`repro.server.health`) flags the fault.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.rotator import SpinningDisk
+
+
+def drop_reads(
+    batch: ReportBatch,
+    fraction: float,
+    rng: np.random.Generator,
+    epc: Optional[str] = None,
+) -> ReportBatch:
+    """Randomly drop ``fraction`` of the reads (optionally of one tag)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    kept: List[TagReportData] = []
+    for report in batch.reports:
+        if (epc is None or report.epc == epc) and rng.random() < fraction:
+            continue
+        kept.append(report)
+    return ReportBatch(kept)
+
+
+def silence_tag(batch: ReportBatch, epc: str) -> ReportBatch:
+    """Remove every read of one tag (detuned tag / torn antenna)."""
+    return ReportBatch([r for r in batch.reports if r.epc != epc])
+
+
+def jam_window(
+    batch: ReportBatch,
+    start_s: float,
+    end_s: float,
+    rng: np.random.Generator,
+) -> ReportBatch:
+    """Randomize the phase of reads inside a time window (EMI burst)."""
+    if end_s <= start_s:
+        raise ConfigurationError("end_s must exceed start_s")
+    transformed: List[TagReportData] = []
+    for report in batch.reports:
+        if start_s <= report.reader_time_s <= end_s:
+            report = TagReportData(
+                epc=report.epc,
+                antenna_port=report.antenna_port,
+                channel_index=report.channel_index,
+                reader_timestamp_us=report.reader_timestamp_us,
+                host_timestamp_us=report.host_timestamp_us,
+                phase_rad=float(rng.uniform(0.0, 2.0 * math.pi)),
+                rssi_dbm=report.rssi_dbm,
+            )
+        transformed.append(report)
+    return ReportBatch(transformed)
+
+
+def stall_disk(
+    batch: ReportBatch,
+    disk: SpinningDisk,
+    epc: str,
+    stuck_fraction: float = 0.12,
+) -> ReportBatch:
+    """Keep only the reads from a small slice of the rotation.
+
+    Approximates a stalled motor: the tag keeps answering, but always from
+    (nearly) the same rim angle, destroying the synthetic aperture.
+    """
+    if not 0.0 < stuck_fraction <= 1.0:
+        raise ConfigurationError("stuck_fraction must be in (0, 1]")
+    period = disk.period
+    kept: List[TagReportData] = []
+    for report in batch.reports:
+        if report.epc != epc:
+            kept.append(report)
+            continue
+        if (report.reader_time_s % period) < stuck_fraction * period:
+            kept.append(report)
+    return ReportBatch(kept)
+
+
+def bias_timestamps(
+    batch: ReportBatch, drift_ppm: float
+) -> ReportBatch:
+    """Apply a clock-drift error to the reader timestamps.
+
+    Models a reader whose crystal drifted since the disk controller was
+    synchronized: the server's disk-angle model slowly walks away from the
+    physical disk.
+    """
+    transformed: List[TagReportData] = []
+    scale = 1.0 + drift_ppm * 1e-6
+    for report in batch.reports:
+        transformed.append(
+            TagReportData(
+                epc=report.epc,
+                antenna_port=report.antenna_port,
+                channel_index=report.channel_index,
+                reader_timestamp_us=int(report.reader_timestamp_us * scale),
+                host_timestamp_us=report.host_timestamp_us,
+                phase_rad=report.phase_rad,
+                rssi_dbm=report.rssi_dbm,
+            )
+        )
+    return ReportBatch(transformed)
+
+
+def chain(
+    batch: ReportBatch,
+    *transforms: Callable[[ReportBatch], ReportBatch],
+) -> ReportBatch:
+    """Apply fault transforms in sequence."""
+    for transform in transforms:
+        batch = transform(batch)
+    return batch

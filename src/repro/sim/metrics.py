@@ -1,0 +1,130 @@
+"""Evaluation metrics: error distances, CDFs and summary statistics.
+
+The paper's basic metric is the *error distance* — the Euclidean distance
+between the estimated and true position — reported per axis and combined,
+as a mean with standard deviation and as CDFs (Figs 10-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorSample:
+    """Per-axis and combined error of one localization trial [m]."""
+
+    x: float
+    y: float
+    z: Optional[float] = None
+
+    @property
+    def combined(self) -> float:
+        parts = [self.x, self.y] + ([self.z] if self.z is not None else [])
+        return float(np.sqrt(np.sum(np.square(parts))))
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """Empirical CDF of a sample of non-negative values."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Cdf":
+        values = np.sort(np.asarray(samples, dtype=float))
+        if values.size == 0:
+            raise ValueError("cannot build a CDF from no samples")
+        probabilities = np.arange(1, values.size + 1) / values.size
+        return cls(values, probabilities)
+
+    def percentile(self, p: float) -> float:
+        """Value at probability ``p`` (0 < p <= 1)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        index = int(np.searchsorted(self.probabilities, p, side="left"))
+        index = min(index, self.values.size - 1)
+        return float(self.values[index])
+
+    def probability_below(self, value: float) -> float:
+        """Fraction of samples <= ``value``."""
+        return float(np.searchsorted(self.values, value, side="right")
+                     / self.values.size)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics the paper tables report."""
+
+    mean: float
+    std: float
+    median: float
+    p90: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "ErrorSummary":
+        values = np.asarray(samples, dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot summarize no samples")
+        return cls(
+            mean=float(np.mean(values)),
+            std=float(np.std(values)),
+            median=float(np.median(values)),
+            p90=float(np.percentile(values, 90)),
+            minimum=float(np.min(values)),
+            maximum=float(np.max(values)),
+            count=int(values.size),
+        )
+
+    def as_centimeters(self) -> Dict[str, float]:
+        """Presentation helper: all length stats converted to cm."""
+        return {
+            "mean_cm": self.mean * 100.0,
+            "std_cm": self.std * 100.0,
+            "median_cm": self.median * 100.0,
+            "p90_cm": self.p90 * 100.0,
+            "min_cm": self.minimum * 100.0,
+            "max_cm": self.maximum * 100.0,
+            "count": self.count,
+        }
+
+
+@dataclass
+class ErrorCollection:
+    """Accumulates :class:`ErrorSample` across trials."""
+
+    samples: List[ErrorSample] = field(default_factory=list)
+
+    def add(self, sample: ErrorSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def axis(self, name: str) -> np.ndarray:
+        if name == "combined":
+            return np.array([s.combined for s in self.samples])
+        values = [getattr(s, name) for s in self.samples]
+        if any(v is None for v in values):
+            raise ValueError(f"axis {name!r} missing in some samples")
+        return np.asarray(values, dtype=float)
+
+    def summary(self, axis: str = "combined") -> ErrorSummary:
+        return ErrorSummary.from_samples(self.axis(axis))
+
+    def cdf(self, axis: str = "combined") -> Cdf:
+        return Cdf.from_samples(self.axis(axis))
+
+
+def improvement_factor(baseline_mean: float, improved_mean: float) -> float:
+    """How many times smaller the improved error is (paper's 'x' factors)."""
+    if improved_mean <= 0:
+        raise ValueError("improved mean must be positive")
+    return baseline_mean / improved_mean

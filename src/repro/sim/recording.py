@@ -1,0 +1,151 @@
+"""Recording and replaying measurement sessions.
+
+A *session recording* bundles everything needed to re-run localization
+offline: the LLRP report stream, the registry contents and the ground-truth
+reader pose.  Useful for regression tests, debugging and for sharing
+captured campaigns (the JSON format is stable and versioned).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.calibration import FourierSeries, OrientationProfile
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.rotator import SpinningDisk
+from repro.server.registry import SpinningTagRecord, TagRegistry
+
+FORMAT_VERSION = 1
+
+
+def _profile_to_dict(profile: Optional[OrientationProfile]) -> Optional[Dict]:
+    if profile is None:
+        return None
+    return {
+        "a0": profile.series.a0,
+        "cosine": list(profile.series.cosine),
+        "sine": list(profile.series.sine),
+    }
+
+
+def _profile_from_dict(data: Optional[Dict]) -> Optional[OrientationProfile]:
+    if data is None:
+        return None
+    import numpy as np
+
+    return OrientationProfile(
+        FourierSeries(
+            a0=float(data["a0"]),
+            cosine=np.asarray(data["cosine"], dtype=float),
+            sine=np.asarray(data["sine"], dtype=float),
+        )
+    )
+
+
+def _disk_to_dict(disk: SpinningDisk) -> Dict:
+    return {
+        "center": [disk.center.x, disk.center.y, disk.center.z],
+        "radius": disk.radius,
+        "angular_speed": disk.angular_speed,
+        "phase0": disk.phase0,
+        "mount": disk.mount.value,
+        "basis_u": list(disk.basis_u),
+        "basis_v": list(disk.basis_v),
+    }
+
+
+def _disk_from_dict(data: Dict) -> SpinningDisk:
+    from repro.hardware.rotator import Mount
+
+    return SpinningDisk(
+        center=Point3(*data["center"]),
+        radius=float(data["radius"]),
+        angular_speed=float(data["angular_speed"]),
+        phase0=float(data["phase0"]),
+        mount=Mount(data["mount"]),
+        basis_u=tuple(data["basis_u"]),
+        basis_v=tuple(data["basis_v"]),
+    )
+
+
+@dataclass
+class SessionRecording:
+    """A replayable capture of one measurement session.
+
+    The registry snapshot includes each tag's fitted orientation profile
+    (when present) — it is server state, and replays need it to reproduce
+    the calibrated pipeline exactly.
+    """
+
+    batch: ReportBatch
+    registry_records: List[SpinningTagRecord]
+    truth: Optional[Point3] = None
+    label: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": FORMAT_VERSION,
+            "label": self.label,
+            "truth": (
+                [self.truth.x, self.truth.y, self.truth.z]
+                if self.truth is not None
+                else None
+            ),
+            "registry": [
+                {
+                    "epc": record.epc,
+                    "model_key": record.model_key,
+                    "disk": _disk_to_dict(record.disk),
+                    "orientation_profile": _profile_to_dict(
+                        record.orientation_profile
+                    ),
+                }
+                for record in self.registry_records
+            ],
+            "reports": [report.to_dict() for report in self.batch.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SessionRecording":
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported recording version {version!r}"
+            )
+        truth = data.get("truth")
+        return cls(
+            batch=ReportBatch(
+                [TagReportData.from_dict(item) for item in data["reports"]]
+            ),
+            registry_records=[
+                SpinningTagRecord(
+                    epc=item["epc"],
+                    disk=_disk_from_dict(item["disk"]),
+                    model_key=item.get("model_key", "squiggle"),
+                    orientation_profile=_profile_from_dict(
+                        item.get("orientation_profile")
+                    ),
+                )
+                for item in data["registry"]
+            ],
+            truth=Point3(*truth) if truth is not None else None,
+            label=data.get("label", ""),
+        )
+
+    def build_registry(self) -> TagRegistry:
+        registry = TagRegistry()
+        for record in self.registry_records:
+            registry.register(record)
+        return registry
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionRecording":
+        return cls.from_dict(json.loads(Path(path).read_text()))

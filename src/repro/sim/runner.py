@@ -1,0 +1,162 @@
+"""Experiment running: seeded trial batches and parameter sweeps.
+
+The evaluation section repeats every configuration over many random reader
+poses and reports error statistics; :func:`run_trials_2d` /
+:func:`run_trials_3d` implement that loop, and :func:`sweep` runs it across
+a parameter axis (Fig 12's panels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.geometry import Point2, Point3
+from repro.errors import AmbiguityError, InsufficientDataError
+from repro.sim.metrics import ErrorCollection, ErrorSummary
+from repro.sim.scenario import TagspinScenario
+from repro.sim.scene import (
+    sample_reader_positions_2d,
+    sample_reader_positions_3d,
+)
+
+
+@dataclass
+class TrialBatch:
+    """Outcome of a batch of localization trials."""
+
+    errors: ErrorCollection
+    failures: int = 0
+
+    @property
+    def trials(self) -> int:
+        return len(self.errors) + self.failures
+
+    def summary(self, axis: str = "combined") -> ErrorSummary:
+        return self.errors.summary(axis)
+
+
+def run_trials_2d(
+    scenario: TagspinScenario,
+    positions: Optional[Sequence[Point2]] = None,
+    trials: int = 20,
+    seed: int = 100,
+    calibrate: bool = True,
+) -> TrialBatch:
+    """Localize the reader from ``trials`` random (or given) 2D poses.
+
+    Trials that fail with a recoverable :class:`TagspinError` (too few
+    reads, degenerate geometry) are counted as failures rather than
+    aborting the batch — matching how a measurement campaign treats them.
+    """
+    if calibrate and _needs_prelude(scenario):
+        scenario.run_orientation_prelude()
+    if positions is None:
+        rng = np.random.default_rng(seed)
+        centers = [u.disk.center for u in scenario.scene.spinning_units]
+        positions = sample_reader_positions_2d(
+            trials, rng, disk_centers=centers
+        )
+    batch = TrialBatch(errors=ErrorCollection())
+    for position in positions:
+        try:
+            _fix, error = scenario.locate_2d(position)
+        except (AmbiguityError, InsufficientDataError):
+            batch.failures += 1
+            continue
+        batch.errors.add(error)
+    return batch
+
+
+def run_trials_3d(
+    scenario: TagspinScenario,
+    positions: Optional[Sequence[Point3]] = None,
+    trials: int = 20,
+    seed: int = 100,
+    calibrate: bool = True,
+) -> TrialBatch:
+    """Localize the reader from ``trials`` random (or given) 3D poses."""
+    if calibrate and _needs_prelude(scenario):
+        scenario.run_orientation_prelude()
+    if positions is None:
+        rng = np.random.default_rng(seed)
+        centers = [u.disk.center for u in scenario.scene.spinning_units]
+        positions = sample_reader_positions_3d(
+            trials, rng, disk_centers=centers
+        )
+    batch = TrialBatch(errors=ErrorCollection())
+    for position in positions:
+        try:
+            _fix, error = scenario.locate_3d(position)
+        except (AmbiguityError, InsufficientDataError):
+            batch.failures += 1
+            continue
+        batch.errors.add(error)
+    return batch
+
+
+def _needs_prelude(scenario: TagspinScenario) -> bool:
+    """True when orientation calibration is enabled but no profiles exist."""
+    if not scenario.config.pipeline.orientation_calibration:
+        return False
+    return any(
+        record.orientation_profile is None
+        for record in scenario.scene.registry
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    value: float
+    summary: ErrorSummary
+    failures: int
+
+
+def sweep(
+    values: Sequence[float],
+    scenario_factory: Callable[[float], TagspinScenario],
+    trials: int = 12,
+    seed: int = 100,
+    three_d: bool = False,
+) -> List[SweepPoint]:
+    """Evaluate localization accuracy across a parameter axis.
+
+    ``scenario_factory`` builds a fresh scenario for each parameter value;
+    every point is evaluated over the same number of random poses (with the
+    same seed, so the pose sets are comparable across points).
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        scenario = scenario_factory(value)
+        runner = run_trials_3d if three_d else run_trials_2d
+        batch = runner(scenario, trials=trials, seed=seed)
+        points.append(
+            SweepPoint(
+                value=float(value),
+                summary=batch.summary(),
+                failures=batch.failures,
+            )
+        )
+    return points
+
+
+def format_sweep_table(
+    points: Sequence[SweepPoint],
+    value_label: str,
+    value_scale: float = 1.0,
+) -> str:
+    """Render a sweep as the text table the benchmarks print."""
+    lines = [f"{value_label:>16} | mean_cm | std_cm | p90_cm | fails"]
+    lines.append("-" * len(lines[0]))
+    for point in points:
+        stats = point.summary.as_centimeters()
+        lines.append(
+            f"{point.value * value_scale:>16.1f} | "
+            f"{stats['mean_cm']:>7.2f} | {stats['std_cm']:>6.2f} | "
+            f"{stats['p90_cm']:>6.2f} | {point.failures:>5d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Canonical experiment scenarios.
+
+:class:`TagspinScenario` wires a scene, a simulated reader and the
+localization pipeline into the exact procedures the paper runs:
+
+* the *orientation-calibration prelude* (tag at disk center, known reader
+  pose, fit the phase-orientation Fourier series);
+* data collection (tag on the rim, reader at the pose under test);
+* 2D / 3D localization and error measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_NUM_ROTATIONS
+from repro.core.calibration import OrientationCalibrator
+from repro.core.geometry import (
+    Point2,
+    Point3,
+    euclidean_error_2d,
+    euclidean_error_3d,
+)
+from repro.core.locator import Fix2D, Fix3D
+from repro.core.pipeline import PipelineConfig, TagspinSystem
+from repro.errors import InsufficientDataError
+from repro.hardware.clock import ClockModel
+from repro.hardware.llrp import ReportBatch, ROSpec
+from repro.hardware.reader import (
+    ReaderConfig,
+    SimulatedReader,
+    SpinningTagUnit,
+)
+from repro.hardware.rotator import Mount
+from repro.rf.antenna import AntennaPort, make_antenna_port
+from repro.rf.channel import BackscatterChannel
+from repro.rf.noise import NoiseModel
+from repro.sim.metrics import ErrorSample
+from repro.sim.scene import DeploymentSpec, Scene, build_scene
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one experimental condition."""
+
+    deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    reader_config: ReaderConfig = field(default_factory=ReaderConfig)
+    clock: ClockModel = field(default_factory=ClockModel)
+    #: Duration of one data collection [s]; None = rotations * disk period.
+    duration_s: Optional[float] = None
+    num_rotations: float = DEFAULT_NUM_ROTATIONS
+    #: Known reader pose used during the orientation-calibration prelude.
+    calibration_pose: Point3 = Point3(0.0, 1.8, 0.0)
+    seed: int = 0
+
+    def collection_duration(self) -> float:
+        if self.duration_s is not None:
+            return self.duration_s
+        period = 2.0 * math.pi / abs(self.deployment.angular_speed)
+        return self.num_rotations * period
+
+
+class TagspinScenario:
+    """A reusable experimental setup bound to one scene."""
+
+    def __init__(self, config: ScenarioConfig = ScenarioConfig()) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.scene: Scene = build_scene(config.deployment, self.rng)
+        self.channel = BackscatterChannel(noise=config.noise)
+        self.system = TagspinSystem(self.scene.registry, config.pipeline)
+
+    # ------------------------------------------------------------------
+    # Reader construction
+    # ------------------------------------------------------------------
+    def make_reader(
+        self,
+        position: Point3,
+        num_antennas: int = 1,
+        antenna_spacing: float = 0.4,
+    ) -> SimulatedReader:
+        """A reader whose antennas sit at/near ``position``.
+
+        Antenna port 1 is exactly at ``position``; additional ports (up to
+        four, for the antenna-diversity experiment) are offset along x.
+        Each antenna draws its own hardware diversity constant.
+        """
+        antennas: List[AntennaPort] = []
+        for port in range(1, num_antennas + 1):
+            offset = (port - 1) * antenna_spacing
+            antennas.append(
+                make_antenna_port(
+                    port_id=port,
+                    position=Point3(position.x + offset, position.y, position.z),
+                    rng=self.rng,
+                )
+            )
+        return SimulatedReader(
+            antennas=antennas,
+            channel=self.channel,
+            clock=self.config.clock,
+            config=self.config.reader_config,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Orientation-calibration prelude (Section III-B, Step 1)
+    # ------------------------------------------------------------------
+    def run_orientation_prelude(
+        self,
+        fourier_order: int = 3,
+        rotations: float = 4.0,
+        pose: Optional[Point3] = None,
+    ) -> None:
+        """Fit each spinning tag's phase-orientation profile.
+
+        The tag is re-mounted at the disk *center* and spun with the reader
+        at a known pose; phase variation is then pure orientation effect,
+        fitted with a Fourier series and stored in the registry.
+        """
+        pose = pose if pose is not None else self.config.calibration_pose
+        calibrator = OrientationCalibrator(fourier_order=fourier_order)
+        reader = self.make_reader(pose)
+        for unit in self.scene.spinning_units:
+            center_disk = unit.disk.with_mount(Mount.CENTER)
+            center_unit = SpinningTagUnit(disk=center_disk, tag=unit.tag)
+            duration = rotations * center_disk.period
+            batch = reader.run([center_unit], ROSpec(duration_s=duration))
+            reports = batch.filter_epc(unit.tag.epc).sorted_by_reader_time()
+            if len(reports) < 2 * fourier_order + 1:
+                raise InsufficientDataError(
+                    f"prelude collected only {len(reports)} reads for "
+                    f"{unit.tag.epc}"
+                )
+            times = np.array([r.reader_time_s for r in reports.reports])
+            phases = np.array([r.phase_rad for r in reports.reports])
+            orientations = np.array(
+                [
+                    center_disk.tag_orientation(t, reader.antenna(1).position)
+                    for t in times
+                ]
+            )
+            profile = calibrator.fit_from_center_spin(orientations, phases)
+            self.scene.registry.set_orientation_profile(unit.tag.epc, profile)
+
+    # ------------------------------------------------------------------
+    # Data collection and localization
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+        reader_position: Point3,
+        num_antennas: int = 1,
+        duration_s: Optional[float] = None,
+    ) -> Tuple[ReportBatch, SimulatedReader]:
+        """Inventory the spinning tags from ``reader_position``."""
+        reader = self.make_reader(reader_position, num_antennas)
+        duration = (
+            duration_s if duration_s is not None
+            else self.config.collection_duration()
+        )
+        rospec = ROSpec(
+            duration_s=duration,
+            antenna_ports=tuple(range(1, num_antennas + 1)),
+        )
+        batch = reader.run(self.scene.spinning_units, rospec)
+        return batch, reader
+
+    def locate_2d(
+        self, reader_position: Point2, antenna_port: int = 1
+    ) -> Tuple[Fix2D, ErrorSample]:
+        """One full 2D localization trial; returns the fix and its error."""
+        pose = Point3(reader_position.x, reader_position.y, 0.0)
+        batch, reader = self.collect(pose)
+        fix = self.system.locate_2d(batch, antenna_port)
+        truth = reader.antenna(antenna_port).position.horizontal()
+        ex, ey, _combined = euclidean_error_2d(fix.position, truth)
+        return fix, ErrorSample(x=ex, y=ey)
+
+    def locate_3d(
+        self, reader_position: Point3, antenna_port: int = 1
+    ) -> Tuple[Fix3D, ErrorSample]:
+        """One full 3D localization trial; returns the fix and its error."""
+        batch, reader = self.collect(reader_position)
+        fix = self.system.locate_3d(batch, antenna_port)
+        truth = reader.antenna(antenna_port).position
+        ex, ey, ez, _combined = euclidean_error_3d(fix.position, truth)
+        return fix, ErrorSample(x=ex, y=ey, z=ez)
+
+    def with_pipeline(self, pipeline: PipelineConfig) -> "TagspinScenario":
+        """A sibling scenario sharing the scene but using another pipeline.
+
+        Used by controlled comparisons (e.g. with/without orientation
+        calibration) so both arms see identical hardware ground truth.
+        """
+        sibling = object.__new__(TagspinScenario)
+        sibling.config = replace(self.config, pipeline=pipeline)
+        sibling.rng = self.rng
+        sibling.scene = self.scene
+        sibling.channel = self.channel
+        sibling.system = TagspinSystem(self.scene.registry, pipeline)
+        return sibling
+
+
+def paper_default_scenario(
+    seed: int = 0, three_d: bool = False
+) -> TagspinScenario:
+    """The paper's default setup.
+
+    Two disks 50 cm apart on the desk plane (heights -9.5 cm below the
+    reader plane in the 3D experiments), 10 cm radius, default tag model.
+    """
+    if three_d:
+        deployment = DeploymentSpec(
+            disk_centers=(
+                Point3(-0.25, 0.0, -0.095),
+                Point3(0.25, 0.0, -0.095),
+            )
+        )
+        pipeline = PipelineConfig(z_min=-0.095, z_max=2.0)
+    else:
+        deployment = DeploymentSpec()
+        pipeline = PipelineConfig()
+    config = ScenarioConfig(deployment=deployment, pipeline=pipeline, seed=seed)
+    return TagspinScenario(config)

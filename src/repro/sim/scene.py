@@ -1,0 +1,195 @@
+"""Scene construction: rooms, disk deployments and reference-tag grids.
+
+A *scene* bundles the physical world the simulator evaluates in: the office
+room, the spinning-tag infrastructure, optional static reference tags (for
+the baseline systems) and the reader antennas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_ANGULAR_SPEED_RAD_S,
+    DEFAULT_CENTER_DISTANCE_M,
+    DEFAULT_DISK_RADIUS_M,
+    ROOM_LENGTH_M,
+    ROOM_WIDTH_M,
+)
+from repro.core.geometry import Point2, Point3
+from repro.errors import ConfigurationError
+from repro.hardware.reader import SpinningTagUnit, StaticTagUnit
+from repro.hardware.rotator import horizontal_disk
+from repro.hardware.tags import make_tag
+from repro.rf.multipath import RoomModel, centered_room
+from repro.server.registry import SpinningTagRecord, TagRegistry
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Parameters of the spinning-tag infrastructure."""
+
+    disk_centers: Tuple[Point3, ...] = (
+        Point3(-DEFAULT_CENTER_DISTANCE_M / 2.0, 0.0, 0.0),
+        Point3(DEFAULT_CENTER_DISTANCE_M / 2.0, 0.0, 0.0),
+    )
+    disk_radius: float = DEFAULT_DISK_RADIUS_M
+    angular_speed: float = DEFAULT_ANGULAR_SPEED_RAD_S
+    tag_model: str = "squiggle"
+
+    def __post_init__(self) -> None:
+        if len(self.disk_centers) < 1:
+            raise ConfigurationError("need at least one disk")
+        for i, a in enumerate(self.disk_centers):
+            for b in self.disk_centers[i + 1 :]:
+                if a.distance_to(b) < 2.0 * self.disk_radius:
+                    raise ConfigurationError(
+                        "disks overlap: centers closer than two radii"
+                    )
+
+
+@dataclass
+class Scene:
+    """The simulated world."""
+
+    room: RoomModel
+    registry: TagRegistry
+    spinning_units: List[SpinningTagUnit]
+    reference_units: List[StaticTagUnit] = field(default_factory=list)
+
+    def all_units(self) -> List:
+        return list(self.spinning_units) + list(self.reference_units)
+
+    def spinning_unit_for(self, epc: str) -> SpinningTagUnit:
+        for unit in self.spinning_units:
+            if unit.tag.epc == epc:
+                return unit
+        raise ConfigurationError(f"no spinning unit with EPC {epc}")
+
+
+def default_room() -> RoomModel:
+    """The paper's office room, centered on the deployment origin."""
+    return centered_room(ROOM_WIDTH_M, ROOM_LENGTH_M)
+
+
+def build_scene(
+    spec: DeploymentSpec = DeploymentSpec(),
+    rng: Optional[np.random.Generator] = None,
+    room: Optional[RoomModel] = None,
+    stagger_phase: bool = True,
+) -> Scene:
+    """Construct the spinning-tag infrastructure described by ``spec``.
+
+    Each disk gets a freshly manufactured tag of ``spec.tag_model`` and a
+    registry record.  ``stagger_phase`` offsets each disk's starting angle
+    so simultaneous peaks (and the resulting correlated sampling) are
+    avoided, as a real deployment naturally would.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    registry = TagRegistry()
+    units: List[SpinningTagUnit] = []
+    for index, center in enumerate(spec.disk_centers):
+        phase0 = (
+            float(rng.uniform(0.0, 2.0 * math.pi)) if stagger_phase else 0.0
+        )
+        disk = horizontal_disk(
+            center=center,
+            radius=spec.disk_radius,
+            angular_speed=spec.angular_speed,
+            phase0=phase0,
+        )
+        tag = make_tag(spec.tag_model, rng)
+        registry.register(
+            SpinningTagRecord(epc=tag.epc, disk=disk, model_key=spec.tag_model)
+        )
+        units.append(SpinningTagUnit(disk=disk, tag=tag))
+    return Scene(
+        room=room if room is not None else default_room(),
+        registry=registry,
+        spinning_units=units,
+    )
+
+
+def reference_grid(
+    rows: int,
+    columns: int,
+    spacing: float,
+    origin: Point3 = Point3(0.0, 1.0, 0.0),
+    tag_model: str = "squiggle",
+    rng: Optional[np.random.Generator] = None,
+) -> List[StaticTagUnit]:
+    """A grid of static reference tags (LandMARC/PinIt-style infrastructure).
+
+    The grid spans ``rows x columns`` tags, ``spacing`` meters apart,
+    centered on ``origin``.
+    """
+    if rows < 1 or columns < 1:
+        raise ValueError("grid must have positive dimensions")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    units = []
+    for i in range(rows):
+        for j in range(columns):
+            x = origin.x + (j - (columns - 1) / 2.0) * spacing
+            y = origin.y + (i - (rows - 1) / 2.0) * spacing
+            units.append(
+                StaticTagUnit(
+                    tag=make_tag(tag_model, rng),
+                    location=Point3(x, y, origin.z),
+                )
+            )
+    return units
+
+
+def sample_reader_positions_2d(
+    count: int,
+    rng: np.random.Generator,
+    x_range: Tuple[float, float] = (-2.5, 2.5),
+    y_range: Tuple[float, float] = (1.0, 2.6),
+    min_disk_distance: float = 0.6,
+    disk_centers: Sequence[Point3] = (),
+) -> List[Point2]:
+    """Random reader poses across the surveillance plane.
+
+    Positions too close to a disk violate the far-field assumption
+    (``D >> r``) and are rejected, mirroring the paper's deployment where
+    the reader stands "several meters away".
+    """
+    positions: List[Point2] = []
+    attempts = 0
+    while len(positions) < count:
+        attempts += 1
+        if attempts > 100 * count:
+            raise ConfigurationError("could not sample enough reader positions")
+        candidate = Point2(
+            float(rng.uniform(*x_range)), float(rng.uniform(*y_range))
+        )
+        if all(
+            candidate.distance_to(c.horizontal()) >= min_disk_distance
+            for c in disk_centers
+        ):
+            positions.append(candidate)
+    return positions
+
+
+def sample_reader_positions_3d(
+    count: int,
+    rng: np.random.Generator,
+    x_range: Tuple[float, float] = (-2.5, 2.5),
+    y_range: Tuple[float, float] = (1.0, 2.6),
+    z_range: Tuple[float, float] = (0.1, 1.2),
+    min_disk_distance: float = 0.6,
+    disk_centers: Sequence[Point3] = (),
+) -> List[Point3]:
+    """Random 3D reader poses above the disk plane."""
+    planar = sample_reader_positions_2d(
+        count, rng, x_range, y_range, min_disk_distance, disk_centers
+    )
+    return [
+        Point3(p.x, p.y, float(rng.uniform(*z_range))) for p in planar
+    ]

@@ -1,0 +1,202 @@
+"""Tests for repro.apps.tag_localization and repro.apps.closed_loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.closed_loop import (
+    ClosedLoopExperiment,
+    format_closed_loop_table,
+)
+from repro.apps.tag_localization import (
+    HyperbolicTagLocator,
+    perturbed_antenna_positions,
+    phase_per_antenna,
+)
+from repro.core.geometry import Point2, Point3
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    InsufficientDataError,
+)
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.sim.scenario import paper_default_scenario
+
+ANTENNAS = {
+    1: Point3(-1.5, 1.0, 0.0),
+    2: Point3(1.5, 1.0, 0.0),
+    3: Point3(-1.0, 2.6, 0.0),
+    4: Point3(1.0, 2.6, 0.0),
+}
+
+
+@pytest.fixture(scope="module")
+def experiment(calibrated_scenario_2d):
+    exp = ClosedLoopExperiment(calibrated_scenario_2d, seed=777)
+    batch = exp.collect_tag_reads()
+    locator = HyperbolicTagLocator(dict(exp.antenna_truth))
+    locator.calibrate_antenna_offsets(
+        batch, exp.reference_tag.epc, exp.reference_position
+    )
+    return exp, batch, locator
+
+
+def _report(epc, antenna, channel, phase, rssi=-55.0, t=0):
+    return TagReportData(
+        epc=epc,
+        antenna_port=antenna,
+        channel_index=channel,
+        reader_timestamp_us=t,
+        host_timestamp_us=t,
+        phase_rad=phase,
+        rssi_dbm=rssi,
+    )
+
+
+class TestPhasePerAntenna:
+    def test_groups_by_port_on_shared_channel(self):
+        batch = ReportBatch(
+            [
+                _report("A", 1, 5, 1.0),
+                _report("A", 2, 5, 2.0),
+                _report("A", 1, 3, 0.1),  # minority channel, ignored
+            ]
+        )
+        phases = phase_per_antenna(batch, "A")
+        assert set(phases) == {1, 2}
+
+    def test_missing_tag_raises(self):
+        with pytest.raises(InsufficientDataError):
+            phase_per_antenna(ReportBatch([]), "A")
+
+
+class TestLocatorConstruction:
+    def test_needs_three_antennas(self):
+        with pytest.raises(ConfigurationError):
+            HyperbolicTagLocator({1: Point3(0, 0, 0), 2: Point3(1, 0, 0)})
+
+    def test_locate_requires_calibration(self, experiment):
+        exp, batch, _locator = experiment
+        fresh = HyperbolicTagLocator(dict(exp.antenna_truth))
+        with pytest.raises(CalibrationError):
+            fresh.locate(batch, exp.target_tags[0].epc)
+
+
+class TestRanging:
+    def test_ranges_close_to_truth(self, experiment):
+        """4 MHz of bandwidth bounds ranging to decimeters: the typical
+        antenna should be within ~35 cm, the worst within ~1 m."""
+        exp, batch, locator = experiment
+        tag, truth = exp.target_tags[0], exp.target_positions[0]
+        ranges = locator.estimate_ranges(batch, tag.epc)
+        assert len(ranges) >= 3
+        errors = [
+            abs(
+                estimated
+                - Point3(truth.x, truth.y, 0.0).distance_to(
+                    exp.antenna_truth[port]
+                )
+            )
+            for port, estimated in ranges.items()
+        ]
+        assert float(np.median(errors)) < 0.35
+        assert max(errors) < 1.0
+
+    def test_multilaterate_exact_ranges(self, experiment):
+        exp, _batch, locator = experiment
+        truth = Point2(0.2, 1.7)
+        ranges = {
+            port: Point3(truth.x, truth.y, 0.0).distance_to(position)
+            for port, position in exp.antenna_truth.items()
+        }
+        estimate = locator.multilaterate(ranges)
+        assert estimate.distance_to(truth) < 1e-6
+
+    def test_multilaterate_needs_three(self, experiment):
+        _exp, _batch, locator = experiment
+        with pytest.raises(InsufficientDataError):
+            locator.multilaterate({1: 2.0, 2: 2.0})
+
+    def test_ranging_prior_decimeter_grade(self, experiment):
+        exp, batch, locator = experiment
+        tag, truth = exp.target_tags[1], exp.target_positions[1]
+        prior = locator.ranging_prior(batch, tag.epc)
+        assert prior.distance_to(truth) < 0.5
+
+
+class TestLocate:
+    def test_locates_targets(self, experiment):
+        exp, batch, locator = experiment
+        errors = []
+        for tag, truth in zip(exp.target_tags, exp.target_positions):
+            fix = locator.locate(batch, tag.epc)
+            errors.append(fix.position.distance_to(truth))
+        assert float(np.mean(errors)) < 0.45
+
+    def test_truth_prior_gives_tight_fix(self, experiment):
+        exp, batch, locator = experiment
+        hits = 0
+        for tag, truth in zip(exp.target_tags, exp.target_positions):
+            fix = locator.locate(
+                batch, tag.epc, prior_center=truth, prior_radius=0.1
+            )
+            if fix.position.distance_to(truth) < 0.12:
+                hits += 1
+        assert hits >= len(exp.target_tags) - 1
+
+
+class TestPerturbedPositions:
+    def test_zero_error_is_identity(self, rng):
+        perturbed = perturbed_antenna_positions(ANTENNAS, 0.0, rng)
+        assert perturbed == ANTENNAS
+
+    def test_error_statistics(self, rng):
+        offsets = []
+        for _ in range(200):
+            perturbed = perturbed_antenna_positions(ANTENNAS, 0.05, rng)
+            offsets.extend(
+                perturbed[p].distance_to(ANTENNAS[p]) for p in ANTENNAS
+            )
+        # 2D Gaussian with per-axis sigma 0.05 -> mean offset ~0.0627.
+        assert float(np.mean(offsets)) == pytest.approx(0.0627, rel=0.15)
+
+    def test_negative_std_rejected(self, rng):
+        with pytest.raises(ValueError):
+            perturbed_antenna_positions(ANTENNAS, -0.1, rng)
+
+
+class TestClosedLoop:
+    def test_calibrate_antennas_accuracy(self, experiment):
+        exp, _batch, _locator = experiment
+        estimates = exp.calibrate_antennas()
+        rmse = np.sqrt(
+            np.mean(
+                [
+                    estimates[p].distance_to(exp.antenna_truth[p]) ** 2
+                    for p in estimates
+                ]
+            )
+        )
+        assert rmse < 0.12
+
+    def test_run_produces_all_conditions(self, calibrated_scenario_2d):
+        exp = ClosedLoopExperiment(calibrated_scenario_2d, seed=888)
+        results = exp.run(manual_error_levels=(0.05,))
+        labels = [r.label for r in results]
+        assert labels[0] == "true positions"
+        assert labels[1] == "Tagspin-calibrated"
+        assert len(results) == 3
+        table = format_closed_loop_table(results)
+        assert "Tagspin-calibrated" in table
+
+    def test_tagspin_close_to_truth_downstream(self, calibrated_scenario_2d):
+        """The paper's motivation: Tagspin's calibration costs (almost)
+        nothing downstream, unlike coarse manual measurement."""
+        exp = ClosedLoopExperiment(calibrated_scenario_2d, seed=999)
+        results = {r.label: r for r in exp.run(manual_error_levels=(0.10,))}
+        truth_err = results["true positions"].tag_mean_error
+        tagspin_err = results["Tagspin-calibrated"].tag_mean_error
+        manual_err = results["manual +/-10 cm"].tag_mean_error
+        assert tagspin_err < truth_err + 0.15
+        assert manual_err > truth_err

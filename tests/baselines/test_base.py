@@ -1,0 +1,102 @@
+"""Tests for repro.baselines.base helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import (
+    candidate_grid,
+    mean_phase_per_tag_channel,
+    mean_rssi_per_tag,
+    reference_positions,
+    weighted_centroid,
+)
+from repro.core.geometry import Point2, Point3
+from repro.errors import InsufficientDataError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.reader import StaticTagUnit
+from repro.hardware.tags import make_tag
+
+
+def _report(epc, phase=1.0, rssi=-55.0, antenna=1, channel=2, t=0):
+    return TagReportData(
+        epc=epc,
+        antenna_port=antenna,
+        channel_index=channel,
+        reader_timestamp_us=t,
+        host_timestamp_us=t,
+        phase_rad=phase,
+        rssi_dbm=rssi,
+    )
+
+
+class TestAggregation:
+    def test_mean_rssi_linear_domain(self):
+        batch = ReportBatch(
+            [_report("A", rssi=-50.0), _report("A", rssi=-60.0)]
+        )
+        mean = mean_rssi_per_tag(batch)["A"]
+        # Linear-power mean of -50/-60 dBm is ~ -52.6 dBm, not -55.
+        assert mean == pytest.approx(-52.6, abs=0.1)
+
+    def test_mean_rssi_filters_antenna(self):
+        batch = ReportBatch([_report("A", antenna=2)])
+        with pytest.raises(InsufficientDataError):
+            mean_rssi_per_tag(batch, antenna_port=1)
+
+    def test_mean_phase_circular(self):
+        batch = ReportBatch(
+            [
+                _report("A", phase=2 * np.pi - 0.1),
+                _report("A", phase=0.1),
+            ]
+        )
+        mean = mean_phase_per_tag_channel(batch)[("A", 2)]
+        assert abs(mean) < 1e-9  # circular mean across the wrap is 0
+
+    def test_mean_phase_grouped_by_channel(self):
+        batch = ReportBatch(
+            [_report("A", phase=1.0, channel=1), _report("A", phase=2.0, channel=5)]
+        )
+        means = mean_phase_per_tag_channel(batch)
+        assert set(means) == {("A", 1), ("A", 5)}
+
+
+class TestGridAndCentroid:
+    def test_candidate_grid_covers_ranges(self):
+        cells = candidate_grid((0.0, 1.0), (0.0, 0.5), 0.5)
+        xs = {c.x for c in cells}
+        ys = {c.y for c in cells}
+        assert xs == {0.0, 0.5, 1.0}
+        assert ys == {0.0, 0.5}
+
+    def test_candidate_grid_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            candidate_grid((0, 1), (0, 1), 0.0)
+
+    def test_weighted_centroid_equal_weights(self):
+        points = [Point2(0, 0), Point2(2, 0)]
+        centroid = weighted_centroid(points, [1.0, 1.0])
+        assert centroid == Point2(1.0, 0.0)
+
+    def test_weighted_centroid_skewed(self):
+        points = [Point2(0, 0), Point2(2, 0)]
+        centroid = weighted_centroid(points, [3.0, 1.0])
+        assert centroid.x == pytest.approx(0.5)
+
+    def test_weighted_centroid_validation(self):
+        with pytest.raises(ValueError):
+            weighted_centroid([], [])
+        with pytest.raises(ValueError):
+            weighted_centroid([Point2(0, 0)], [0.0])
+
+
+def test_reference_positions(rng):
+    units = [
+        StaticTagUnit(tag=make_tag(rng=rng), location=Point3(1, 2, 0)),
+        StaticTagUnit(tag=make_tag(rng=rng), location=Point3(3, 4, 0)),
+    ]
+    positions = reference_positions(units)
+    assert positions[units[0].tag.epc] == Point3(1, 2, 0)
+    assert len(positions) == 2

@@ -1,0 +1,76 @@
+"""Tests for repro.baselines.dtw."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.dtw import dtw_distance, dtw_normalized
+
+sequences = arrays(
+    float,
+    st.integers(min_value=2, max_value=15),
+    elements=st.floats(min_value=-5, max_value=5),
+)
+
+
+class TestDtwDistance:
+    def test_identical_sequences_zero(self):
+        a = np.array([1.0, 2.0, 3.0, 2.0])
+        assert dtw_distance(a, a) == pytest.approx(0.0)
+
+    @given(sequences)
+    @settings(max_examples=30)
+    def test_self_distance_zero(self, a):
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @given(sequences, sequences)
+    @settings(max_examples=30)
+    def test_non_negative_and_symmetric(self, a, b):
+        d_ab = dtw_distance(a, b)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(dtw_distance(b, a), rel=1e-9, abs=1e-9)
+
+    def test_warping_absorbs_time_stretch(self):
+        """DTW tolerates local stretching that Euclidean distance punishes."""
+        a = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        stretched = np.array([0.0, 1.0, 1.0, 2.0, 3.0, 4.0])
+        assert dtw_distance(a, stretched) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_sequences_nonzero(self):
+        a = np.zeros(5)
+        b = np.ones(5)
+        assert dtw_distance(a, b) == pytest.approx(5.0)
+
+    def test_vector_elements(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert dtw_distance(a, b) == pytest.approx(0.0)
+
+    def test_band_constrains_path(self):
+        a = np.array([0.0, 0.0, 0.0, 5.0])
+        b = np.array([5.0, 0.0, 0.0, 0.0])
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, band=1)
+        assert banded >= unconstrained
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros(3), np.zeros(3), band=-1)
+
+
+def test_dtw_normalized_scales_by_length():
+    a = np.zeros(10)
+    b = np.ones(10)
+    assert dtw_normalized(a, b) == pytest.approx(dtw_distance(a, b) / 20.0)

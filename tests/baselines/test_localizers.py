@@ -1,0 +1,170 @@
+"""Tests for the four baseline localizers.
+
+Each baseline is exercised on the shared comparison harness (one session-
+scoped fixture keeps the cost down): the point is not centimeter accuracy
+but that each system produces a sane fix on the common substrate and that
+its documented failure modes raise instead of silently misbehaving.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.antloc import AntlocLocalizer, bearing_from_scan
+from repro.baselines.backpos import BackposLocalizer
+from repro.baselines.landmarc import LandmarcLocalizer
+from repro.baselines.pinit import PinitLocalizer, angular_profile
+from repro.core.geometry import Point2, Point3
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    InsufficientDataError,
+)
+from repro.hardware.llrp import ReportBatch
+from repro.hardware.reader import StaticTagUnit
+from repro.hardware.tags import make_tag
+from repro.rf.multipath import centered_room
+from repro.sim.comparison import BaselineComparison
+from repro.sim.scenario import paper_default_scenario
+
+POSE = Point2(0.6, 2.0)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    comp = BaselineComparison(paper_default_scenario(seed=41), seed=43)
+    comp.calibrate()
+    return comp
+
+
+def _units(rng, count=4):
+    return [
+        StaticTagUnit(
+            tag=make_tag(rng=rng),
+            location=Point3(0.8 * (i % 2) - 0.4, 0.8 * (i // 2) + 1.0, 0.0),
+        )
+        for i in range(count)
+    ]
+
+
+class TestLandmarc:
+    def test_locates_within_a_meter(self, comparison):
+        fix = comparison.landmarc.locate(comparison._collect_fixed(POSE))
+        assert fix.position.distance_to(POSE) < 1.0
+
+    def test_requires_reference_tags(self):
+        with pytest.raises(ConfigurationError):
+            LandmarcLocalizer(reference_units=[])
+
+    def test_requires_all_tags_read(self, comparison, rng):
+        batch = ReportBatch([])  # nothing read
+        with pytest.raises(InsufficientDataError):
+            comparison.landmarc.locate(batch)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ConfigurationError):
+            LandmarcLocalizer(reference_units=_units(rng), k=0)
+
+
+class TestAntloc:
+    def test_bearing_from_scan_peak(self):
+        boresights = np.linspace(0, 2 * math.pi, 12, endpoint=False)
+        truth = 1.5
+        rssi = -50.0 + 8.0 * np.cos(boresights - truth)
+        bearing = bearing_from_scan(boresights, rssi)
+        assert abs(np.angle(np.exp(1j * (bearing - truth)))) < 0.2
+
+    def test_bearing_needs_enough_steps(self):
+        boresights = np.linspace(0, 2 * math.pi, 12, endpoint=False)
+        rssi = np.full(12, np.nan)
+        rssi[0] = -50.0
+        with pytest.raises(InsufficientDataError):
+            bearing_from_scan(boresights, rssi)
+
+    def test_locates_within_two_meters(self, comparison):
+        fix = comparison._antloc_fix(POSE)
+        assert fix.position.distance_to(POSE) < 2.0
+
+    def test_needs_three_tags(self, rng):
+        with pytest.raises(ConfigurationError):
+            AntlocLocalizer(reference_units=_units(rng, count=2))
+
+    def test_locate_without_bearings_raises(self, rng):
+        localizer = AntlocLocalizer(reference_units=_units(rng, count=4))
+        with pytest.raises(InsufficientDataError):
+            localizer.locate_from_bearings()
+
+    def test_set_bearings_filters_unknown(self, rng):
+        localizer = AntlocLocalizer(reference_units=_units(rng, count=4))
+        with pytest.raises(InsufficientDataError):
+            localizer.set_bearings({"UNKNOWN1": 0.1, "UNKNOWN2": 0.2})
+
+
+class TestPinit:
+    def test_angular_profile_peaks_at_arrival_angle(self):
+        """A pure plane-wave arrival produces a beamforming peak there."""
+        wavelength = 0.325
+        offsets = np.array([0.0, 0.35, 0.70, 1.05])
+        theta = 1.1
+        phasors = np.exp(
+            -1j * 4 * np.pi / wavelength * offsets * np.cos(theta)
+        )
+        angles = np.linspace(0, np.pi, 180, endpoint=False)
+        profile = angular_profile(phasors, offsets, wavelength, angles)
+        # Beamforming over a sparse >lambda/2-spaced aperture aliases, so
+        # the true angle must be among the top peaks rather than unique.
+        peak_angles = angles[np.argsort(profile)[-10:]]
+        assert np.min(np.abs(peak_angles - theta)) < 0.1
+
+    def test_locates_within_a_meter(self, comparison):
+        fix = comparison.pinit.locate(comparison._collect_aperture(POSE))
+        assert fix.position.distance_to(POSE) < 1.0
+
+    def test_requires_full_aperture(self, comparison):
+        batch = comparison._collect_aperture(POSE)
+        # Strip all but antenna port 1 -> aperture incomplete.
+        partial = batch.filter_antenna(1)
+        with pytest.raises(InsufficientDataError):
+            comparison.pinit.locate(partial)
+
+    def test_requires_reference_tags(self, rng):
+        with pytest.raises(ConfigurationError):
+            PinitLocalizer(reference_units=[], room=centered_room(9, 6))
+
+
+class TestBackpos:
+    def test_requires_calibration(self, rng):
+        localizer = BackposLocalizer(reference_units=_units(rng, count=4))
+        with pytest.raises(CalibrationError):
+            localizer.locate(ReportBatch([]))
+
+    def test_locates_with_prior(self, comparison):
+        fix = comparison.backpos.locate(
+            comparison._collect_hopping(POSE), prior_center=POSE
+        )
+        assert fix.position.distance_to(POSE) < 0.4
+
+    def test_needs_three_tags(self, rng):
+        with pytest.raises(ConfigurationError):
+            BackposLocalizer(reference_units=_units(rng, count=2))
+
+
+class TestComparisonHarness:
+    def test_full_run_produces_all_systems(self, comparison):
+        results = comparison.run(poses=[POSE, Point2(-0.5, 1.6)])
+        names = {r.name for r in results}
+        assert names == {"Tagspin", "LandMARC", "AntLoc", "PinIt", "BackPos"}
+        for result in results:
+            assert len(result.errors) + result.failures == 2
+
+    def test_tagspin_beats_rss_methods(self, comparison):
+        """The paper's qualitative claim on the shared substrate."""
+        results = {r.name: r for r in comparison.run(
+            poses=[Point2(0.3, 1.8), Point2(-0.7, 2.2), Point2(1.0, 1.4)]
+        )}
+        tagspin = results["Tagspin"].summary().mean
+        assert tagspin < results["LandMARC"].summary().mean
+        assert tagspin < results["AntLoc"].summary().mean

@@ -1,0 +1,258 @@
+"""Tests for repro.core.geometry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    Bearing2D,
+    Point2,
+    Point3,
+    angular_difference,
+    circle_point,
+    euclidean_error_2d,
+    euclidean_error_3d,
+    fuse_heights,
+    height_from_polar,
+    intersect_bearings_2d,
+    least_squares_intersection,
+    point_line_distance,
+    rotation_matrix_2d,
+    triangulation_residual,
+    wrap_angle,
+    wrap_angle_signed,
+)
+from repro.errors import AmbiguityError
+
+finite_angles = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAngleWrapping:
+    def test_wrap_angle_range(self):
+        assert wrap_angle(2.5 * math.pi) == pytest.approx(0.5 * math.pi)
+        assert wrap_angle(-0.5 * math.pi) == pytest.approx(1.5 * math.pi)
+
+    def test_wrap_angle_signed_range(self):
+        assert wrap_angle_signed(1.5 * math.pi) == pytest.approx(-0.5 * math.pi)
+        assert wrap_angle_signed(math.pi) == pytest.approx(math.pi)
+
+    @given(finite_angles)
+    def test_wrap_angle_always_in_range(self, angle):
+        wrapped = wrap_angle(angle)
+        assert 0.0 <= wrapped < 2.0 * math.pi
+
+    @given(finite_angles)
+    def test_wrap_signed_always_in_range(self, angle):
+        wrapped = wrap_angle_signed(angle)
+        assert -math.pi < wrapped <= math.pi
+
+    @given(finite_angles)
+    def test_wraps_agree_mod_2pi(self, angle):
+        difference = wrap_angle(angle) - wrap_angle_signed(angle)
+        assert abs(math.remainder(difference, 2.0 * math.pi)) < 1e-9
+
+    @given(finite_angles, finite_angles)
+    def test_angular_difference_symmetric(self, a, b):
+        assert angular_difference(a, b) == pytest.approx(
+            angular_difference(b, a), abs=1e-9
+        )
+
+    def test_angular_difference_max_is_pi(self):
+        assert angular_difference(0.0, math.pi) == pytest.approx(math.pi)
+
+
+class TestPoints:
+    def test_distance(self):
+        assert Point2(0, 0).distance_to(Point2(3, 4)) == pytest.approx(5.0)
+
+    def test_bearing_east(self):
+        assert Point2(0, 0).bearing_to(Point2(1, 0)) == pytest.approx(0.0)
+
+    def test_bearing_north(self):
+        assert Point2(0, 0).bearing_to(Point2(0, 2)) == pytest.approx(
+            math.pi / 2
+        )
+
+    def test_point3_distance(self):
+        assert Point3(0, 0, 0).distance_to(Point3(1, 2, 2)) == pytest.approx(3.0)
+
+    def test_point3_horizontal(self):
+        assert Point3(1.0, 2.0, 3.0).horizontal() == Point2(1.0, 2.0)
+
+    def test_polar_to_45_degrees(self):
+        origin = Point3(0, 0, 0)
+        assert origin.polar_to(Point3(1, 0, 1)) == pytest.approx(math.pi / 4)
+
+    def test_polar_to_negative(self):
+        origin = Point3(0, 0, 0)
+        assert origin.polar_to(Point3(1, 0, -1)) == pytest.approx(-math.pi / 4)
+
+    def test_translated(self):
+        assert Point2(1, 1).translated(0.5, -0.5) == Point2(1.5, 0.5)
+
+
+class TestBearingIntersection:
+    def test_perpendicular_bearings(self):
+        a = Bearing2D(Point2(0, 0), math.pi / 2)  # north from origin
+        b = Bearing2D(Point2(1, 0), math.pi)  # west from (1, 0)
+        hit = intersect_bearings_2d(a, b)
+        assert hit.x == pytest.approx(0.0, abs=1e-9)
+        assert hit.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_intersection(self):
+        target = Point2(0.4, 1.9)
+        a_origin, b_origin = Point2(-0.25, 0.0), Point2(0.25, 0.0)
+        a = Bearing2D(a_origin, a_origin.bearing_to(target))
+        b = Bearing2D(b_origin, b_origin.bearing_to(target))
+        hit = intersect_bearings_2d(a, b)
+        assert hit.x == pytest.approx(target.x, abs=1e-9)
+        assert hit.y == pytest.approx(target.y, abs=1e-9)
+
+    def test_parallel_raises(self):
+        a = Bearing2D(Point2(0, 0), 0.3)
+        b = Bearing2D(Point2(0, 1), 0.3)
+        with pytest.raises(AmbiguityError):
+            intersect_bearings_2d(a, b)
+
+    def test_antiparallel_raises(self):
+        a = Bearing2D(Point2(0, 0), 0.3)
+        b = Bearing2D(Point2(0, 1), 0.3 + math.pi)
+        with pytest.raises(AmbiguityError):
+            intersect_bearings_2d(a, b)
+
+    @given(
+        st.floats(min_value=-2.0, max_value=2.0),
+        st.floats(min_value=0.5, max_value=3.0),
+    )
+    @settings(max_examples=30)
+    def test_exact_bearings_recover_target(self, x, y):
+        target = Point2(x, y)
+        origins = [Point2(-0.25, 0.0), Point2(0.25, 0.0)]
+        bearings = [Bearing2D(o, o.bearing_to(target)) for o in origins]
+        hit = intersect_bearings_2d(*bearings)
+        assert hit.distance_to(target) < 1e-6
+
+
+class TestLeastSquaresIntersection:
+    def test_matches_pairwise_for_two_lines(self):
+        target = Point2(0.7, 1.3)
+        origins = [Point2(-0.5, 0.0), Point2(0.5, 0.0)]
+        bearings = [Bearing2D(o, o.bearing_to(target)) for o in origins]
+        pairwise = intersect_bearings_2d(*bearings)
+        lsq = least_squares_intersection(bearings)
+        assert lsq.distance_to(pairwise) < 1e-9
+
+    def test_three_exact_lines(self):
+        target = Point2(-0.3, 2.1)
+        origins = [Point2(-0.5, 0.0), Point2(0.5, 0.0), Point2(0.0, 0.5)]
+        bearings = [Bearing2D(o, o.bearing_to(target)) for o in origins]
+        hit = least_squares_intersection(bearings)
+        assert hit.distance_to(target) < 1e-9
+
+    def test_minimizes_residual(self):
+        # Perturb one bearing; LSQ answer should beat any pairwise answer
+        # in RMS perpendicular distance.
+        target = Point2(0.0, 2.0)
+        origins = [Point2(-0.5, 0.0), Point2(0.5, 0.0), Point2(1.0, 0.5)]
+        bearings = [
+            Bearing2D(o, o.bearing_to(target) + delta)
+            for o, delta in zip(origins, [0.01, -0.01, 0.02])
+        ]
+        lsq = least_squares_intersection(bearings)
+        rms = triangulation_residual(lsq, bearings)
+        for dx in (-0.02, 0.02):
+            nudged = Point2(lsq.x + dx, lsq.y)
+            assert triangulation_residual(nudged, bearings) >= rms
+
+    def test_single_bearing_rejected(self):
+        with pytest.raises(ValueError):
+            least_squares_intersection([Bearing2D(Point2(0, 0), 1.0)])
+
+    def test_parallel_lines_rejected(self):
+        bearings = [
+            Bearing2D(Point2(0, 0), 0.4),
+            Bearing2D(Point2(0, 1), 0.4),
+            Bearing2D(Point2(0, 2), 0.4),
+        ]
+        with pytest.raises(AmbiguityError):
+            least_squares_intersection(bearings)
+
+
+class TestHeights:
+    def test_height_from_polar_45(self):
+        origin = Point3(0.0, 0.0, 0.0)
+        z = height_from_polar(origin, Point2(1.0, 0.0), math.pi / 4)
+        assert z == pytest.approx(1.0)
+
+    def test_height_respects_origin_z(self):
+        origin = Point3(0.0, 0.0, -0.095)
+        z = height_from_polar(origin, Point2(2.0, 0.0), 0.0)
+        assert z == pytest.approx(-0.095)
+
+    def test_fuse_heights_mean(self):
+        assert fuse_heights([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_fuse_heights_empty_raises(self):
+        with pytest.raises(ValueError):
+            fuse_heights([])
+
+
+class TestDistancesAndErrors:
+    def test_point_line_distance(self):
+        bearing = Bearing2D(Point2(0, 0), 0.0)  # the x-axis
+        assert point_line_distance(Point2(3.0, 2.0), bearing) == pytest.approx(2.0)
+
+    def test_rotation_matrix_orthonormal(self):
+        m = rotation_matrix_2d(0.7)
+        assert np.allclose(m @ m.T, np.eye(2))
+        assert np.linalg.det(m) == pytest.approx(1.0)
+
+    def test_euclidean_error_2d(self):
+        ex, ey, combined = euclidean_error_2d(Point2(1, 1), Point2(4, 5))
+        assert (ex, ey) == (3.0, 4.0)
+        assert combined == pytest.approx(5.0)
+
+    def test_euclidean_error_3d(self):
+        ex, ey, ez, combined = euclidean_error_3d(
+            Point3(0, 0, 0), Point3(1, 2, 2)
+        )
+        assert (ex, ey, ez) == (1.0, 2.0, 2.0)
+        assert combined == pytest.approx(3.0)
+
+    def test_circle_point(self):
+        p = circle_point(Point2(1.0, 1.0), 2.0, math.pi / 2)
+        assert p.x == pytest.approx(1.0)
+        assert p.y == pytest.approx(3.0)
+
+    @given(
+        st.floats(min_value=-1.0, max_value=1.0),
+        st.floats(min_value=1.0, max_value=3.0),
+        st.floats(min_value=0.0, max_value=2.0 * math.pi),
+    )
+    @settings(max_examples=25)
+    def test_rotation_invariance_of_intersection(self, x, y, theta):
+        """Rotating the whole scene rotates the intersection accordingly."""
+        target = Point2(x, y)
+        origins = [Point2(-0.4, 0.0), Point2(0.4, 0.0)]
+        bearings = [Bearing2D(o, o.bearing_to(target)) for o in origins]
+        try:
+            baseline = intersect_bearings_2d(*bearings)
+        except AmbiguityError:
+            return  # collinear configuration; nothing to check
+        m = rotation_matrix_2d(theta)
+        rotated = [
+            Bearing2D(
+                Point2(*(m @ o.as_array())), wrap_angle(b.azimuth + theta)
+            )
+            for o, b in zip(origins, bearings)
+        ]
+        hit = intersect_bearings_2d(*rotated)
+        expected = m @ baseline.as_array()
+        assert np.allclose(hit.as_array(), expected, atol=1e-6)

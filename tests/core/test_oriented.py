@@ -1,0 +1,147 @@
+"""Tests for repro.core.oriented (arbitrary-disk-orientation spectra)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.core.oriented import (
+    compute_oriented_profile,
+    direction_vector,
+    oriented_relative_phase_model,
+    power_at_direction,
+    resolve_z_with_vertical_disk,
+)
+from repro.core.phase import relative_phase_model
+from repro.core.spectrum import SnapshotSeries
+from repro.errors import InsufficientDataError
+
+HORIZONTAL = ((1.0, 0.0, 0.0), (0.0, 1.0, 0.0))
+VERTICAL_X = ((1.0, 0.0, 0.0), (0.0, 0.0, 1.0))
+
+
+def _vertical_series(
+    center: Point3,
+    reader: Point3,
+    n: int = 220,
+    wavelength: float = 0.325,
+    radius: float = 0.10,
+    omega: float = 1.0,
+    noise_std: float = 0.0,
+) -> SnapshotSeries:
+    """Exact-geometry phases of a tag on a vertical (x-z plane) disk."""
+    times = np.linspace(0.0, 2 * 2 * np.pi / omega, n)
+    u = np.array(VERTICAL_X[0])
+    v = np.array(VERTICAL_X[1])
+    angles = omega * times
+    positions = (
+        center.as_array()[None, :]
+        + radius * (np.outer(np.cos(angles), u) + np.outer(np.sin(angles), v))
+    )
+    distances = np.linalg.norm(positions - reader.as_array()[None, :], axis=1)
+    phases = np.mod(4 * np.pi * distances / wavelength, 2 * np.pi)
+    if noise_std > 0:
+        rng = np.random.default_rng(2)
+        phases = np.mod(phases + noise_std * rng.standard_normal(n), 2 * np.pi)
+    return SnapshotSeries(times, phases, wavelength, radius, omega)
+
+
+class TestDirectionVector:
+    def test_equator(self):
+        assert np.allclose(direction_vector(0.0, 0.0), [1, 0, 0])
+
+    def test_pole(self):
+        assert np.allclose(
+            direction_vector(1.2, np.pi / 2), [0, 0, 1], atol=1e-12
+        )
+
+    def test_unit_norm_grid(self):
+        azimuths = np.linspace(0, 2 * np.pi, 12)
+        vectors = direction_vector(azimuths, 0.4)
+        assert np.allclose(np.linalg.norm(vectors, axis=-1), 1.0)
+
+
+class TestOrientedModel:
+    def test_reduces_to_horizontal_model(self, make_series):
+        series = make_series(azimuth=1.3, polar=0.4, n=60)
+        azimuths = np.linspace(0, 2 * np.pi, 10, endpoint=False)
+        polars = np.array([0.4])
+        oriented = oriented_relative_phase_model(
+            series, HORIZONTAL[0], HORIZONTAL[1], azimuths, polars
+        )
+        classic = relative_phase_model(
+            series.times,
+            series.wavelength,
+            series.radius,
+            series.angular_speed,
+            azimuths[np.newaxis, :],
+            np.array([[0.4]]),
+            series.phase0,
+        )
+        assert np.allclose(oriented, classic, atol=1e-9)
+
+    def test_horizontal_profile_matches_peak(self, make_series):
+        phi = 2.0
+        series = make_series(azimuth=phi, n=150)
+        spectrum = compute_oriented_profile(
+            series, HORIZONTAL[0], HORIZONTAL[1]
+        )
+        error = abs(np.angle(np.exp(1j * (spectrum.peak_azimuth - phi))))
+        assert error < np.deg2rad(1.5)
+
+    def test_insufficient_data(self, make_series):
+        with pytest.raises(InsufficientDataError):
+            compute_oriented_profile(
+                make_series(azimuth=1.0, n=2), HORIZONTAL[0], HORIZONTAL[1]
+            )
+
+
+class TestVerticalDisk:
+    def test_vertical_disk_breaks_z_symmetry(self):
+        """A vertical disk's profile distinguishes +gamma from -gamma."""
+        center = Point3(0.0, 0.0, 0.0)
+        reader = Point3(0.0, 2.0, 0.8)
+        series = _vertical_series(center, reader)
+        azimuth = center.azimuth_to(reader)
+        polar = center.polar_to(reader)
+        up = power_at_direction(
+            series, VERTICAL_X[0], VERTICAL_X[1], azimuth, polar
+        )
+        down = power_at_direction(
+            series, VERTICAL_X[0], VERTICAL_X[1], azimuth, -polar
+        )
+        assert up > 3.0 * down
+
+    def test_resolve_z_ambiguity_positive(self):
+        center = Point3(0.0, 0.0, 0.0)
+        truth = Point3(0.4, 2.0, 0.6)
+        series = _vertical_series(center, truth, noise_std=0.1)
+        mirror = Point3(truth.x, truth.y, -truth.z)
+        chosen = resolve_z_with_vertical_disk(
+            (mirror, truth), center, series, VERTICAL_X[0], VERTICAL_X[1]
+        )
+        assert chosen is truth
+
+    def test_resolve_z_ambiguity_negative(self):
+        center = Point3(0.0, 0.0, 0.0)
+        truth = Point3(-0.3, 2.2, -0.5)
+        series = _vertical_series(center, truth, noise_std=0.1)
+        mirror = Point3(truth.x, truth.y, -truth.z)
+        chosen = resolve_z_with_vertical_disk(
+            (truth, mirror), center, series, VERTICAL_X[0], VERTICAL_X[1]
+        )
+        assert chosen is truth
+
+    def test_oriented_peak_finds_elevation(self):
+        center = Point3(0.0, 0.0, 0.0)
+        reader = Point3(0.0, 1.8, 0.9)
+        series = _vertical_series(center, reader)
+        spectrum = compute_oriented_profile(
+            series,
+            VERTICAL_X[0],
+            VERTICAL_X[1],
+            polar_grid=np.linspace(-np.pi / 2, np.pi / 2, 181),
+        )
+        expected_polar = center.polar_to(reader)
+        assert abs(spectrum.peak_polar - expected_polar) < np.deg2rad(3.0)

@@ -1,0 +1,115 @@
+"""Tests for repro.core.tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point2
+from repro.core.locator import Fix2D
+from repro.core.tracking import ConstantVelocityKalman, ReaderTracker
+from repro.errors import ConfigurationError
+
+
+def _fix(x: float, y: float, residual: float = 0.005) -> Fix2D:
+    return Fix2D(position=Point2(x, y), residual=residual, confidence=0.8)
+
+
+class TestKalman:
+    def test_first_update_initializes(self):
+        kf = ConstantVelocityKalman()
+        point = kf.update(0.0, Point2(1.0, 2.0), 0.05)
+        assert kf.initialized
+        assert point.position == Point2(1.0, 2.0)
+        assert not point.rejected
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(4)
+        # A near-static process model lets the filter average heavily.
+        kf = ConstantVelocityKalman(accel_std=0.005)
+        truth = Point2(0.5, 1.5)
+        raw_errors, smoothed_errors = [], []
+        for step in range(40):
+            noisy = Point2(
+                truth.x + 0.05 * rng.standard_normal(),
+                truth.y + 0.05 * rng.standard_normal(),
+            )
+            point = kf.update(step * 1.0, noisy, 0.05)
+            raw_errors.append(noisy.distance_to(truth))
+            smoothed_errors.append(point.position.distance_to(truth))
+        assert np.mean(smoothed_errors[10:]) < 0.6 * np.mean(raw_errors[10:])
+
+    def test_tracks_constant_velocity(self):
+        kf = ConstantVelocityKalman(accel_std=0.2)
+        for step in range(30):
+            t = step * 0.5
+            kf.update(t, Point2(0.1 * t, 1.0), 0.02)
+        point = kf.update(15.0, Point2(1.5, 1.0), 0.02)
+        assert point.velocity[0] == pytest.approx(0.1, abs=0.03)
+        assert abs(point.velocity[1]) < 0.03
+
+    def test_outlier_rejected(self):
+        kf = ConstantVelocityKalman(accel_std=0.05)
+        for step in range(10):
+            kf.update(step * 1.0, Point2(0.0, 1.0), 0.02)
+        point = kf.update(10.0, Point2(5.0, 9.0), 0.02)
+        assert point.rejected
+        # The state coasted: still near the true position.
+        assert point.position.distance_to(Point2(0.0, 1.0)) < 0.1
+
+    def test_time_must_not_go_backward(self):
+        kf = ConstantVelocityKalman()
+        kf.update(1.0, Point2(0, 0), 0.05)
+        with pytest.raises(ValueError):
+            kf.update(0.5, Point2(0, 0), 0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ConstantVelocityKalman(accel_std=0.0)
+        with pytest.raises(ConfigurationError):
+            ConstantVelocityKalman(gate=-1.0)
+
+    def test_invalid_measurement_std(self):
+        kf = ConstantVelocityKalman()
+        with pytest.raises(ValueError):
+            kf.update(0.0, Point2(0, 0), 0.0)
+
+
+class TestReaderTracker:
+    def test_ingest_builds_track(self):
+        tracker = ReaderTracker()
+        for step in range(5):
+            tracker.ingest(step * 2.0, _fix(0.1 * step, 1.5))
+        assert len(tracker.track) == 5
+        assert len(tracker.positions()) == 5
+        assert tracker.rejection_count() == 0
+
+    def test_residual_scales_trust(self):
+        """A high-residual fix moves the state less than a clean one.
+
+        The jump is kept inside the innovation gate for both arms so the
+        comparison is about weighting, not rejection.
+        """
+
+        def pull(residual: float) -> float:
+            tracker = ReaderTracker(accel_std=0.05)
+            for step in range(8):
+                tracker.ingest(step * 1.0, _fix(0.0, 1.0))
+            point = tracker.ingest(8.0, _fix(0.05, 1.0, residual=residual))
+            assert not point.rejected
+            return abs(point.position.x)
+
+        assert pull(0.2) < 0.3 * pull(0.01)
+
+    def test_tracks_moving_reader_fixes(self, calibrated_scenario_2d):
+        """End-to-end: stop-and-go reader along a line, tracked."""
+        scenario = calibrated_scenario_2d
+        tracker = ReaderTracker(accel_std=0.1)
+        waypoints = [Point2(-0.6 + 0.3 * i, 1.8) for i in range(5)]
+        errors = []
+        for step, waypoint in enumerate(waypoints):
+            fix, _error = scenario.locate_2d(waypoint)
+            point = tracker.ingest(step * 15.0, fix)
+            errors.append(point.position.distance_to(waypoint))
+        assert np.mean(errors) < 0.12
+        assert tracker.rejection_count() <= 1

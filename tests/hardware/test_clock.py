@@ -1,0 +1,62 @@
+"""Tests for repro.hardware.clock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.clock import (
+    ClockModel,
+    microseconds_to_seconds,
+    timestamps_to_microseconds,
+)
+
+
+class TestClockModel:
+    def test_default_reader_clock_is_identity(self):
+        clock = ClockModel()
+        times = np.linspace(0, 10, 5)
+        assert np.allclose(clock.reader_timestamps(times), times)
+
+    def test_reader_drift(self):
+        clock = ClockModel(reader_drift_ppm=100.0)
+        stamped = clock.reader_timestamps(np.array([1000.0]))
+        assert stamped[0] == pytest.approx(1000.1)
+
+    def test_reader_offset(self):
+        clock = ClockModel(reader_offset_s=5.0)
+        assert clock.reader_timestamps(np.array([1.0]))[0] == pytest.approx(6.0)
+
+    def test_host_latency_positive(self, rng):
+        clock = ClockModel(latency_mean_s=0.02, latency_jitter_s=0.01)
+        times = np.linspace(0, 10, 2000)
+        host = clock.host_timestamps(times, rng)
+        assert np.all(host >= times)
+
+    def test_host_latency_mean(self, rng):
+        clock = ClockModel(latency_mean_s=0.05, latency_jitter_s=0.0)
+        times = np.zeros(100)
+        host = clock.host_timestamps(times, rng)
+        assert np.allclose(host, 0.05)
+
+    def test_host_jitter_reorders_events(self, rng):
+        """Jittery latency means host arrival order != emission order —
+        the paper's reason to use reader timestamps."""
+        clock = ClockModel(latency_mean_s=0.02, latency_jitter_s=0.015)
+        times = np.linspace(0, 1, 200)  # 5 ms apart
+        host = clock.host_timestamps(times, rng)
+        assert np.any(np.diff(host) < 0)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        times = np.array([0.0, 1.234567, 99.999999])
+        assert np.allclose(
+            microseconds_to_seconds(timestamps_to_microseconds(times)),
+            times,
+            atol=1e-6,
+        )
+
+    def test_integer_type(self):
+        stamped = timestamps_to_microseconds(np.array([1.5]))
+        assert stamped.dtype == np.int64

@@ -1,0 +1,102 @@
+"""Tests for repro.hardware.llrp."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ReportBatch, ROSpec, TagReportData
+
+
+@pytest.fixture
+def report() -> TagReportData:
+    return TagReportData(
+        epc="E2000000000000000000ABCD",
+        antenna_port=2,
+        channel_index=7,
+        reader_timestamp_us=1_234_567,
+        host_timestamp_us=1_254_567,
+        phase_rad=3.14,
+        rssi_dbm=-57.5,
+    )
+
+
+class TestTagReportData:
+    def test_time_properties(self, report):
+        assert report.reader_time_s == pytest.approx(1.234567)
+        assert report.host_time_s == pytest.approx(1.254567)
+
+    def test_dict_roundtrip(self, report):
+        assert TagReportData.from_dict(report.to_dict()) == report
+
+    def test_from_dict_coerces_types(self, report):
+        data = report.to_dict()
+        data["antenna_port"] = "2"
+        data["phase_rad"] = "3.14"
+        restored = TagReportData.from_dict(data)
+        assert restored == report
+
+
+class TestROSpec:
+    def test_defaults(self):
+        rospec = ROSpec()
+        assert rospec.enable_phase
+        assert rospec.report_every_read
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            ROSpec(duration_s=0.0)
+
+    def test_empty_ports(self):
+        with pytest.raises(ConfigurationError):
+            ROSpec(antenna_ports=())
+
+
+class TestReportBatch:
+    def _batch(self, report):
+        other = TagReportData(
+            epc="E2000000000000000000BEEF",
+            antenna_port=1,
+            channel_index=3,
+            reader_timestamp_us=1_000_000,
+            host_timestamp_us=1_020_000,
+            phase_rad=1.0,
+            rssi_dbm=-60.0,
+        )
+        return ReportBatch([report, other])
+
+    def test_filter_epc(self, report):
+        batch = self._batch(report)
+        filtered = batch.filter_epc(report.epc)
+        assert len(filtered) == 1
+        assert filtered.reports[0] is report
+
+    def test_filter_antenna(self, report):
+        batch = self._batch(report)
+        assert len(batch.filter_antenna(2)) == 1
+        assert len(batch.filter_antenna(9)) == 0
+
+    def test_epcs_preserve_order(self, report):
+        batch = self._batch(report)
+        assert batch.epcs() == [report.epc, "E2000000000000000000BEEF"]
+
+    def test_sorted_by_reader_time(self, report):
+        batch = self._batch(report).sorted_by_reader_time()
+        times = [r.reader_timestamp_us for r in batch.reports]
+        assert times == sorted(times)
+
+    def test_json_roundtrip(self, report):
+        batch = self._batch(report)
+        restored = ReportBatch.from_json(batch.to_json())
+        assert restored.reports == batch.reports
+
+    def test_save_load(self, report, tmp_path):
+        batch = self._batch(report)
+        path = tmp_path / "batch.json"
+        batch.save(path)
+        assert ReportBatch.load(path).reports == batch.reports
+
+    def test_extend(self, report):
+        batch = ReportBatch()
+        batch.extend([report])
+        assert len(batch) == 1

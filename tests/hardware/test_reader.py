@@ -1,0 +1,175 @@
+"""Tests for repro.hardware.reader."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ROSpec
+from repro.hardware.reader import (
+    ReaderConfig,
+    SimulatedReader,
+    SpinningTagUnit,
+    StaticTagUnit,
+)
+from repro.hardware.rotator import horizontal_disk
+from repro.hardware.tags import make_tag
+from repro.rf.antenna import make_antenna_port
+from repro.rf.channel import BackscatterChannel
+from repro.rf.noise import NOISELESS
+
+
+@pytest.fixture
+def units(rng):
+    disk_a = horizontal_disk(Point3(-0.25, 0, 0), 0.10, 1.0)
+    disk_b = horizontal_disk(Point3(0.25, 0, 0), 0.10, 1.0, phase0=1.0)
+    return [
+        SpinningTagUnit(disk=disk_a, tag=make_tag(rng=rng)),
+        SpinningTagUnit(disk=disk_b, tag=make_tag(rng=rng)),
+    ]
+
+
+def _reader(rng, position=Point3(0.0, 2.0, 0.0), **kwargs):
+    return SimulatedReader(
+        antennas=[make_antenna_port(1, position, rng=rng)],
+        channel=BackscatterChannel(noise=NOISELESS),
+        rng=rng,
+        rssi_bias_db=0.0,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_needs_antenna(self, rng):
+        with pytest.raises(ConfigurationError):
+            SimulatedReader(antennas=[], rng=rng)
+
+    def test_max_four_antennas(self, rng):
+        antennas = [
+            make_antenna_port(i, Point3(i * 0.3, 2.0, 0.0)) for i in range(1, 6)
+        ]
+        with pytest.raises(ConfigurationError):
+            SimulatedReader(antennas=antennas, rng=rng)
+
+    def test_duplicate_ports_rejected(self, rng):
+        antennas = [
+            make_antenna_port(1, Point3(0, 2, 0)),
+            make_antenna_port(1, Point3(0.3, 2, 0)),
+        ]
+        with pytest.raises(ConfigurationError):
+            SimulatedReader(antennas=antennas, rng=rng)
+
+    def test_unknown_port_lookup(self, rng):
+        reader = _reader(rng)
+        with pytest.raises(ConfigurationError):
+            reader.antenna(3)
+
+
+class TestChannels:
+    def test_fixed_channel(self, rng):
+        reader = _reader(rng)
+        indices = {reader.channel_index_at(t) for t in np.linspace(0, 100, 50)}
+        assert len(indices) == 1
+
+    def test_hopping_visits_many_channels(self, rng):
+        reader = _reader(
+            rng,
+            config=ReaderConfig(frequency_hopping=True, hop_interval_s=0.5),
+        )
+        indices = {reader.channel_index_at(t) for t in np.linspace(0, 7.9, 200)}
+        assert len(indices) == 16
+
+    def test_wavelengths_in_band(self, rng):
+        reader = _reader(rng)
+        for channel in range(16):
+            wavelength = reader.wavelength_for_channel(channel)
+            assert 0.3240 < wavelength < 0.3258
+
+
+class TestRun:
+    def test_reports_have_valid_fields(self, rng, units):
+        reader = _reader(rng)
+        batch = reader.run(units, ROSpec(duration_s=5.0))
+        assert len(batch) > 50
+        for report in batch.reports:
+            assert report.epc in {u.tag.epc for u in units}
+            assert 0.0 <= report.phase_rad < 2 * math.pi
+            assert report.rssi_dbm < 0.0
+            assert report.host_timestamp_us >= report.reader_timestamp_us
+
+    def test_reports_sorted_by_reader_time(self, rng, units):
+        reader = _reader(rng)
+        batch = reader.run(units, ROSpec(duration_s=3.0))
+        times = [r.reader_timestamp_us for r in batch.reports]
+        assert times == sorted(times)
+
+    def test_phases_match_exact_geometry(self, rng, units):
+        """Noiseless reports must equal the exact-distance phase plus the
+        link diversity and orientation offset."""
+        reader = _reader(rng)
+        batch = reader.run(units, ROSpec(duration_s=3.0))
+        unit = units[0]
+        antenna = reader.antenna(1)
+        wavelength = reader.wavelength_for_channel(
+            reader.config.fixed_channel_index
+        )
+        diversity = reader.channel.link_diversity(antenna, unit.tag)
+        for report in batch.filter_epc(unit.tag.epc).reports[:20]:
+            t = report.reader_time_s
+            distance = antenna.position.distance_to(unit.position(t))
+            rho = unit.orientation(t, antenna.position)
+            expected = (
+                4 * math.pi * distance / wavelength
+                + diversity
+                + float(unit.tag.orientation_truth.offset(rho))
+            ) % (2 * math.pi)
+            assert report.phase_rad == pytest.approx(expected, abs=1e-6)
+
+    def test_static_units_supported(self, rng):
+        static = StaticTagUnit(
+            tag=make_tag(rng=rng), location=Point3(0.5, 1.0, 0.0)
+        )
+        reader = _reader(rng)
+        batch = reader.run([static], ROSpec(duration_s=2.0))
+        assert len(batch) > 10
+
+    def test_duplicate_epcs_rejected(self, rng, units):
+        reader = _reader(rng)
+        with pytest.raises(ConfigurationError):
+            reader.run([units[0], units[0]], ROSpec(duration_s=1.0))
+
+    def test_empty_field_rejected(self, rng):
+        reader = _reader(rng)
+        with pytest.raises(ConfigurationError):
+            reader.run([], ROSpec(duration_s=1.0))
+
+    def test_rssi_bias_applied(self, rng, units):
+        biased = SimulatedReader(
+            antennas=[make_antenna_port(1, Point3(0.0, 2.0, 0.0))],
+            channel=BackscatterChannel(noise=NOISELESS),
+            rng=np.random.default_rng(3),
+            rssi_bias_db=10.0,
+        )
+        unbiased = SimulatedReader(
+            antennas=[make_antenna_port(1, Point3(0.0, 2.0, 0.0))],
+            channel=BackscatterChannel(noise=NOISELESS),
+            rng=np.random.default_rng(3),
+            rssi_bias_db=0.0,
+        )
+        batch_b = biased.run(units, ROSpec(duration_s=1.0))
+        batch_u = unbiased.run(units, ROSpec(duration_s=1.0))
+        mean_b = np.mean([r.rssi_dbm for r in batch_b.reports])
+        mean_u = np.mean([r.rssi_dbm for r in batch_u.reports])
+        assert mean_b - mean_u == pytest.approx(10.0, abs=0.5)
+
+    def test_out_of_range_tag_unread(self, rng):
+        far = StaticTagUnit(
+            tag=make_tag(rng=rng), location=Point3(0.0, 200.0, 0.0)
+        )
+        reader = _reader(rng)
+        batch = reader.run([far], ROSpec(duration_s=1.0))
+        assert len(batch) == 0

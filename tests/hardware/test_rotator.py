@@ -1,0 +1,158 @@
+"""Tests for repro.hardware.rotator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.hardware.rotator import (
+    Mount,
+    SpinningDisk,
+    horizontal_disk,
+    vertical_disk,
+)
+
+
+@pytest.fixture
+def disk() -> SpinningDisk:
+    return horizontal_disk(Point3(0.1, 0.0, 0.0), 0.10, 1.0)
+
+
+class TestConstruction:
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            horizontal_disk(Point3(0, 0, 0), 0.0, 1.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ConfigurationError):
+            horizontal_disk(Point3(0, 0, 0), 0.1, 0.0)
+
+    def test_non_orthogonal_basis(self):
+        with pytest.raises(ConfigurationError):
+            SpinningDisk(
+                Point3(0, 0, 0), 0.1, 1.0,
+                basis_u=(1, 0, 0), basis_v=(1, 1, 0),
+            )
+
+    def test_basis_normalized(self):
+        disk = SpinningDisk(
+            Point3(0, 0, 0), 0.1, 1.0,
+            basis_u=(2.0, 0, 0), basis_v=(0, 3.0, 0),
+        )
+        assert np.allclose(disk.basis_u, (1, 0, 0))
+        assert np.allclose(disk.basis_v, (0, 1, 0))
+
+    def test_period(self, disk):
+        assert disk.period == pytest.approx(2 * math.pi)
+
+    def test_is_horizontal(self, disk):
+        assert disk.is_horizontal
+        assert not vertical_disk(Point3(0, 0, 0), 0.1, 1.0).is_horizontal
+
+
+class TestKinematics:
+    def test_center_mount_stays_put(self, disk):
+        center_disk = disk.with_mount(Mount.CENTER)
+        for t in np.linspace(0, 10, 7):
+            assert center_disk.tag_position(t) == disk.center
+
+    def test_edge_mount_on_circle(self, disk):
+        for t in np.linspace(0, 10, 13):
+            position = disk.tag_position(t)
+            assert disk.center.distance_to(position) == pytest.approx(0.10)
+            assert position.z == pytest.approx(disk.center.z)
+
+    def test_position_at_time_zero(self):
+        disk = horizontal_disk(Point3(0, 0, 0), 0.1, 1.0, phase0=0.0)
+        position = disk.tag_position(0.0)
+        assert position.x == pytest.approx(0.1)
+        assert position.y == pytest.approx(0.0)
+
+    def test_phase0_rotates_start(self):
+        disk = horizontal_disk(Point3(0, 0, 0), 0.1, 1.0, phase0=math.pi / 2)
+        position = disk.tag_position(0.0)
+        assert position.x == pytest.approx(0.0, abs=1e-12)
+        assert position.y == pytest.approx(0.1)
+
+    def test_vectorized_positions_match_scalar(self, disk):
+        times = np.linspace(0, 5, 20)
+        stacked = disk.tag_positions(times)
+        for i, t in enumerate(times):
+            assert np.allclose(stacked[i], disk.tag_position(t).as_array())
+
+    def test_periodicity(self, disk):
+        a = disk.tag_position(1.0)
+        b = disk.tag_position(1.0 + disk.period)
+        assert a.distance_to(b) < 1e-9
+
+    def test_negative_speed_reverses(self):
+        forward = horizontal_disk(Point3(0, 0, 0), 0.1, 1.0)
+        backward = horizontal_disk(Point3(0, 0, 0), 0.1, -1.0)
+        t = 0.5
+        assert forward.tag_position(t).y == pytest.approx(
+            -backward.tag_position(t).y
+        )
+
+    def test_vertical_disk_spans_z(self):
+        disk = vertical_disk(Point3(0, 0, 0.5), 0.1, 1.0)
+        quarter = disk.period / 4.0
+        assert disk.tag_position(quarter).z == pytest.approx(0.6, abs=1e-9)
+        assert disk.tag_position(3 * quarter).z == pytest.approx(0.4, abs=1e-9)
+        zs = disk.tag_positions(np.linspace(0, disk.period, 100))[:, 2]
+        assert np.all(zs <= 0.6 + 1e-9)
+        assert np.all(zs >= 0.4 - 1e-9)
+
+    @given(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.02, max_value=0.3),
+        st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=30)
+    def test_tag_always_on_track(self, t, radius, omega):
+        disk = horizontal_disk(Point3(0.3, -0.2, 0.1), radius, omega)
+        assert disk.center.distance_to(
+            disk.tag_position(t)
+        ) == pytest.approx(radius, rel=1e-9)
+
+
+class TestOrientation:
+    def test_orientation_definition(self):
+        """rho = disk angle - bearing toward the reader."""
+        disk = horizontal_disk(Point3(0, 0, 0), 0.1, 1.0, phase0=0.0)
+        reader = Point3(0.0, 5.0, 0.0)  # nearly due north of the tag
+        rho = disk.tag_orientation(0.0, reader)
+        bearing = math.atan2(5.0, -0.1)
+        assert rho == pytest.approx((0.0 - bearing) % (2 * math.pi))
+
+    def test_orientations_vectorized(self, disk):
+        reader = Point3(0.4, 2.0, 0.0)
+        times = np.linspace(0, 5, 25)
+        stacked = disk.tag_orientations(times, reader)
+        for i, t in enumerate(times):
+            assert stacked[i] == pytest.approx(
+                disk.tag_orientation(t, reader), abs=1e-9
+            )
+
+    def test_orientation_advances_with_disk(self, disk):
+        """Over one rotation the orientation sweeps ~2*pi (far reader)."""
+        reader = Point3(0.0, 50.0, 0.0)
+        rhos = disk.tag_orientations(
+            np.linspace(0, disk.period, 200, endpoint=False), reader
+        )
+        unwrapped = np.unwrap(rhos)
+        assert unwrapped[-1] - unwrapped[0] == pytest.approx(
+            2 * math.pi, rel=0.05
+        )
+
+    def test_with_mount_preserves_geometry(self, disk):
+        center = disk.with_mount(Mount.CENTER)
+        assert center.center == disk.center
+        assert center.radius == disk.radius
+        assert center.mount is Mount.CENTER
+        assert disk.mount is Mount.EDGE

@@ -1,0 +1,95 @@
+"""Tests for repro.hardware.tags."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.tags import (
+    DEFAULT_MODEL_KEY,
+    TABLE_I,
+    get_model,
+    make_epc,
+    make_tag,
+    make_tags,
+    synthesize_orientation_profile,
+)
+
+
+class TestTableI:
+    def test_five_models(self):
+        assert len(TABLE_I) == 5
+
+    def test_all_alien(self):
+        assert all(m.company == "Alien" for m in TABLE_I.values())
+
+    def test_default_model_exists(self):
+        assert DEFAULT_MODEL_KEY in TABLE_I
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("SQUIG") is TABLE_I["squig"]
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_model("nonexistent")
+
+    def test_orientation_pp_near_paper_value(self):
+        """The fleet-average fluctuation should sit near the paper's 0.7 rad."""
+        mean_pp = np.mean([m.orientation_pp_rad for m in TABLE_I.values()])
+        assert 0.6 < mean_pp < 0.8
+
+
+class TestEpcs:
+    def test_unique(self):
+        epcs = {make_epc() for _ in range(200)}
+        assert len(epcs) == 200
+
+    def test_format(self):
+        epc = make_epc()
+        assert epc.startswith("E200")
+        assert len(epc) == 24
+        int(epc, 16)  # valid hex
+
+
+class TestOrientationProfiles:
+    def test_peak_to_peak_matches_model(self, rng):
+        model = get_model("squiggle")
+        profile = synthesize_orientation_profile(model, rng)
+        assert profile.series.peak_to_peak() == pytest.approx(
+            model.orientation_pp_rad, rel=1e-6
+        )
+
+    def test_individuals_differ(self, rng):
+        model = get_model("squiggle")
+        a = synthesize_orientation_profile(model, rng)
+        b = synthesize_orientation_profile(model, rng)
+        grid = np.linspace(0, 2 * np.pi, 64)
+        assert not np.allclose(a.offset(grid), b.offset(grid))
+
+
+class TestTagInstances:
+    def test_make_tag_fields(self, rng):
+        tag = make_tag("short", rng)
+        assert tag.model.name == "Short"
+        assert 0.0 <= tag.diversity_rad < 2 * np.pi
+
+    def test_effective_gain_range(self, rng):
+        tag = make_tag(rng=rng)
+        for rho in np.linspace(0, 2 * np.pi, 32):
+            gain = tag.effective_gain(rho)
+            assert tag.model.gain_floor - 1e-9 <= gain <= 1.0 + 1e-9
+
+    def test_effective_gain_peaks_perpendicular(self, rng):
+        tag = make_tag(rng=rng)
+        assert tag.effective_gain(np.pi / 2) == pytest.approx(1.0)
+        assert tag.effective_gain(0.0) == pytest.approx(tag.model.gain_floor)
+
+    def test_make_tags_count_and_unique_epcs(self, rng):
+        tags = make_tags(8, "square", rng)
+        assert len(tags) == 8
+        assert len({t.epc for t in tags}) == 8
+
+    def test_make_tags_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            make_tags(0, rng=rng)

@@ -1,0 +1,52 @@
+"""Shared test helpers (importable, unlike fixtures, from hypothesis tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.core.phase import theoretical_phase
+from repro.core.spectrum import SnapshotSeries
+
+
+def make_series(
+    azimuth: float,
+    polar: float = 0.0,
+    n: int = 200,
+    rotations: float = 2.0,
+    wavelength: float = DEFAULT_WAVELENGTH_M,
+    radius: float = 0.10,
+    angular_speed: float = 1.0,
+    phase0: float = 0.0,
+    center_distance: float = 2.0,
+    diversity: float = 0.0,
+    noise_std: float = 0.0,
+    seed: int = 7,
+) -> SnapshotSeries:
+    """Synthetic spinning-tag series following the far-field model exactly."""
+    period = 2.0 * np.pi / abs(angular_speed)
+    times = np.linspace(0.0, rotations * period, n)
+    phases = theoretical_phase(
+        times,
+        wavelength,
+        center_distance,
+        radius,
+        angular_speed,
+        azimuth,
+        polar,
+        diversity,
+        phase0,
+    )
+    if noise_std > 0:
+        noise_rng = np.random.default_rng(seed)
+        phases = np.mod(
+            phases + noise_std * noise_rng.standard_normal(n), 2.0 * np.pi
+        )
+    return SnapshotSeries(
+        times=times,
+        phases=phases,
+        wavelength=wavelength,
+        radius=radius,
+        angular_speed=angular_speed,
+        phase0=phase0,
+    )

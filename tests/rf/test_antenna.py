@@ -1,0 +1,80 @@
+"""Tests for repro.rf.antenna."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.rf.antenna import (
+    AntennaPort,
+    PanelAntenna,
+    make_antenna_port,
+    omni_antenna,
+)
+
+
+class TestPanelAntenna:
+    def test_boresight_gain_zero(self):
+        pattern = PanelAntenna(boresight_azimuth=0.7)
+        assert pattern.relative_gain_db(0.7) == pytest.approx(0.0, abs=1e-9)
+
+    def test_half_beamwidth_is_3db(self):
+        pattern = PanelAntenna(boresight_azimuth=0.0, beamwidth=math.radians(70))
+        gain = pattern.relative_gain_db(math.radians(35))
+        assert gain == pytest.approx(-3.0, abs=0.05)
+
+    def test_back_lobe_clamped(self):
+        pattern = PanelAntenna(front_back_ratio_db=25.0)
+        assert pattern.relative_gain_db(math.pi) == pytest.approx(-25.0)
+
+    def test_pattern_symmetric(self):
+        pattern = PanelAntenna(boresight_azimuth=0.0)
+        assert pattern.relative_gain_db(0.4) == pytest.approx(
+            pattern.relative_gain_db(-0.4)
+        )
+
+    def test_vectorized(self):
+        pattern = PanelAntenna()
+        gains = pattern.relative_gain_db(np.linspace(-np.pi, np.pi, 50))
+        assert gains.shape == (50,)
+        assert np.max(gains) <= 0.0 + 1e-9
+
+    def test_steered_copy(self):
+        pattern = PanelAntenna(boresight_azimuth=0.0)
+        steered = pattern.steered(1.2)
+        assert steered.boresight_azimuth == 1.2
+        assert steered.beamwidth == pattern.beamwidth
+
+    def test_invalid_beamwidth(self):
+        with pytest.raises(ConfigurationError):
+            PanelAntenna(beamwidth=0.0)
+
+    def test_omni_is_flat_in_front(self):
+        pattern = omni_antenna()
+        spread = pattern.relative_gain_db(0.0) - pattern.relative_gain_db(1.0)
+        assert spread < 2.0
+
+
+class TestAntennaPort:
+    def test_gain_toward_target(self):
+        port = AntennaPort(
+            port_id=1,
+            position=Point3(0, 0, 0),
+            pattern=PanelAntenna(boresight_azimuth=0.0),
+        )
+        on_axis = port.relative_gain_toward(Point3(2, 0, 0))
+        off_axis = port.relative_gain_toward(Point3(0, 2, 0))
+        assert on_axis > off_axis
+
+    def test_make_antenna_port_faces_origin(self):
+        port = make_antenna_port(1, Point3(0.0, 2.0, 0.0))
+        assert port.pattern.boresight_azimuth == pytest.approx(-math.pi / 2)
+
+    def test_make_antenna_port_diversity_drawn(self):
+        rng = np.random.default_rng(1)
+        port = make_antenna_port(1, Point3(1, 1, 0), rng=rng)
+        assert 0.0 <= port.diversity_rad < 2 * math.pi

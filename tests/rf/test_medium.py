@@ -1,0 +1,89 @@
+"""Tests for repro.rf.medium."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.medium import (
+    LinkBudget,
+    dbm_to_milliwatt,
+    free_space_path_loss_db,
+    milliwatt_to_dbm,
+)
+
+
+class TestPathLoss:
+    def test_reference_value(self):
+        # FSPL at 1 m, 915 MHz-ish is ~31.7 dB.
+        loss = free_space_path_loss_db(1.0, 0.325)
+        assert loss == pytest.approx(31.74, abs=0.1)
+
+    def test_doubling_distance_adds_6db(self):
+        near = free_space_path_loss_db(1.0, 0.325)
+        far = free_space_path_loss_db(2.0, 0.325)
+        assert far - near == pytest.approx(6.02, abs=0.01)
+
+    def test_near_field_clamped(self):
+        assert free_space_path_loss_db(0.0, 0.325) == free_space_path_loss_db(
+            0.01, 0.325
+        )
+
+    def test_vectorized(self):
+        losses = free_space_path_loss_db(np.array([1.0, 2.0, 4.0]), 0.325)
+        assert losses.shape == (3,)
+        assert np.all(np.diff(losses) > 0)
+
+
+class TestLinkBudget:
+    def test_forward_power_monotone_in_distance(self):
+        budget = LinkBudget()
+        near = budget.forward_power_dbm(1.0, 0.325)
+        far = budget.forward_power_dbm(4.0, 0.325)
+        assert near > far
+
+    def test_backscatter_below_forward(self):
+        budget = LinkBudget()
+        assert budget.backscatter_power_dbm(2.0, 0.325) < (
+            budget.forward_power_dbm(2.0, 0.325)
+        )
+
+    def test_backscatter_falls_40db_per_decade(self):
+        budget = LinkBudget()
+        near = budget.backscatter_power_dbm(1.0, 0.325)
+        far = budget.backscatter_power_dbm(10.0, 0.325)
+        assert near - far == pytest.approx(40.0, abs=0.1)
+
+    def test_tag_energized_close(self):
+        budget = LinkBudget()
+        assert budget.tag_energized(2.0, 0.325)
+
+    def test_tag_dead_far(self):
+        budget = LinkBudget()
+        assert not budget.tag_energized(50.0, 0.325)
+
+    def test_pattern_gains_applied(self):
+        budget = LinkBudget()
+        boresight = budget.forward_power_dbm(2.0, 0.325, reader_gain_db=0.0)
+        offaxis = budget.forward_power_dbm(2.0, 0.325, reader_gain_db=-10.0)
+        assert boresight - offaxis == pytest.approx(10.0)
+
+    def test_decodable_threshold(self):
+        budget = LinkBudget()
+        assert budget.decodable(budget.reader_sensitivity_dbm)
+        assert not budget.decodable(budget.reader_sensitivity_dbm - 0.1)
+
+
+class TestUnitConversions:
+    def test_dbm_to_mw_reference(self):
+        assert dbm_to_milliwatt(0.0) == pytest.approx(1.0)
+        assert dbm_to_milliwatt(30.0) == pytest.approx(1000.0)
+
+    @given(st.floats(min_value=-100, max_value=50))
+    @settings(max_examples=30)
+    def test_roundtrip(self, dbm):
+        assert milliwatt_to_dbm(dbm_to_milliwatt(dbm)) == pytest.approx(
+            dbm, abs=1e-9
+        )

@@ -1,0 +1,121 @@
+"""Tests for repro.rf.multipath."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.rf.antenna import PanelAntenna
+from repro.rf.multipath import (
+    RoomModel,
+    centered_room,
+    frequency_profile,
+    multipath_complex_gain,
+    multipath_rays,
+)
+
+
+@pytest.fixture
+def room() -> RoomModel:
+    return centered_room(9.0, 6.0, reflection_coefficient=0.3)
+
+
+class TestRoomModel:
+    def test_centered_room_extents(self, room):
+        assert room.x0 == -4.5 and room.x1 == 4.5
+        assert room.y0 == -3.0 and room.y1 == 3.0
+
+    def test_contains(self, room):
+        assert room.contains(Point3(0, 0, 0))
+        assert not room.contains(Point3(5.0, 0, 0))
+
+    def test_invalid_extent(self):
+        with pytest.raises(ConfigurationError):
+            RoomModel(1.0, 0.0, 0.0, 1.0)
+
+    def test_invalid_reflection(self):
+        with pytest.raises(ConfigurationError):
+            RoomModel(0, 1, 0, 1, reflection_coefficient=2.0)
+
+    def test_wall_images_count_and_mirroring(self, room):
+        images = room.wall_images(Point3(1.0, 2.0, 0.5))
+        assert len(images) == 4
+        assert images[0].x == pytest.approx(2 * room.x0 - 1.0)
+        assert all(image.z == 0.5 for image in images)
+
+
+class TestRays:
+    def test_los_first_and_shortest(self, room):
+        rays = multipath_rays(room, Point3(0, 0, 0), Point3(1, 1, 0))
+        assert rays[0].amplitude == 1.0
+        assert all(r.path_length >= rays[0].path_length for r in rays)
+
+    def test_reflections_weaker(self, room):
+        rays = multipath_rays(room, Point3(0, 0, 0), Point3(1, 1, 0))
+        assert all(r.amplitude < 0.5 for r in rays[1:])
+
+    def test_departure_azimuth_los(self, room):
+        rays = multipath_rays(room, Point3(0, 0, 0), Point3(0, 2, 0))
+        assert rays[0].departure_azimuth == pytest.approx(math.pi / 2)
+
+
+class TestComplexGain:
+    def test_no_reflection_is_unity(self):
+        clean = centered_room(9.0, 6.0, reflection_coefficient=0.0)
+        gain = multipath_complex_gain(
+            clean, Point3(0, 0, 0), Point3(1, 1, 0), 0.325
+        )
+        assert gain == pytest.approx(1.0 + 0.0j)
+
+    def test_gain_bounded(self, room):
+        gain = multipath_complex_gain(
+            room, Point3(0.3, -1.0, 0), Point3(1.5, 1.2, 0), 0.325
+        )
+        assert abs(gain) < 2.5
+
+    def test_directional_pattern_suppresses_reflections(self, room):
+        """A narrow-beam antenna pointed at the tag suppresses off-axis
+        rays, pulling the composite gain back toward pure LoS."""
+        reader, tag = Point3(0, -2.0, 0), Point3(0, 2.0, 0)
+        omni = multipath_complex_gain(room, reader, tag, 0.325)
+        narrow = PanelAntenna(
+            boresight_azimuth=math.pi / 2, beamwidth=math.radians(30)
+        )
+        directional = multipath_complex_gain(
+            room, reader, tag, 0.325, pattern_gain_db=narrow.relative_gain_db
+        )
+        assert abs(directional - 1.0) < abs(omni - 1.0)
+
+    def test_gain_depends_on_wavelength(self, room):
+        reader, tag = Point3(0.3, -1.0, 0), Point3(1.5, 1.2, 0)
+        a = multipath_complex_gain(room, reader, tag, 0.3243)
+        b = multipath_complex_gain(room, reader, tag, 0.3257)
+        assert a != b
+
+
+class TestFrequencyProfile:
+    def test_shape(self, room):
+        wavelengths = np.linspace(0.324, 0.326, 16)
+        profile = frequency_profile(
+            room, Point3(0, 0, 0), Point3(1, 1, 0), wavelengths
+        )
+        assert profile.shape == (16,)
+        assert profile.dtype == complex
+
+    def test_phase_slope_encodes_distance(self):
+        """Across the band, the unwrapped phase slope grows with range."""
+        clean = centered_room(9.0, 6.0, reflection_coefficient=0.0)
+        wavelengths = np.linspace(0.324, 0.326, 16)
+        near = frequency_profile(
+            clean, Point3(0, 0, 0), Point3(0, 1, 0), wavelengths
+        )
+        far = frequency_profile(
+            clean, Point3(0, 0, 0), Point3(0, 3, 0), wavelengths
+        )
+        near_slope = abs(np.polyfit(range(16), np.unwrap(np.angle(near)), 1)[0])
+        far_slope = abs(np.polyfit(range(16), np.unwrap(np.angle(far)), 1)[0])
+        assert far_slope > 2.0 * near_slope

@@ -1,0 +1,53 @@
+"""Tests for repro.rf.noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import NOISELESS, NoiseModel
+
+
+class TestNoiseModel:
+    def test_noiseless_is_identity_mod_2pi(self, rng):
+        phases = np.linspace(0, 10, 50)
+        out = NOISELESS.corrupt_phase(phases, rng)
+        assert np.allclose(out, np.mod(phases, 2 * np.pi))
+
+    def test_phase_noise_statistics(self, rng):
+        model = NoiseModel(phase_std_rad=0.1)
+        phases = np.full(200_000, np.pi)
+        noisy = model.corrupt_phase(phases, rng)
+        residual = noisy - np.pi
+        assert np.std(residual) == pytest.approx(0.1, rel=0.05)
+        assert abs(np.mean(residual)) < 0.005
+
+    def test_phase_output_wrapped(self, rng):
+        model = NoiseModel(phase_std_rad=2.0)
+        noisy = model.corrupt_phase(np.zeros(10_000), rng)
+        assert np.all(noisy >= 0.0)
+        assert np.all(noisy < 2 * np.pi)
+
+    def test_pi_jumps_injected(self, rng):
+        model = NoiseModel(phase_std_rad=0.0, pi_jump_probability=0.5)
+        noisy = model.corrupt_phase(np.zeros(10_000), rng)
+        jumps = np.isclose(noisy, np.pi)
+        assert 0.4 < np.mean(jumps) < 0.6
+
+    def test_rssi_quantization(self, rng):
+        model = NoiseModel(rssi_std_db=0.0, rssi_quantum_db=0.5)
+        noisy = model.corrupt_rssi(np.array([-53.26, -60.74]), rng)
+        assert np.allclose(np.mod(noisy, 0.5), 0.0)
+
+    def test_rssi_noise_statistics(self, rng):
+        model = NoiseModel(rssi_std_db=1.0, rssi_quantum_db=0.0)
+        noisy = model.corrupt_rssi(np.full(100_000, -55.0), rng)
+        assert np.std(noisy + 55.0) == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(phase_std_rad=-0.1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(pi_jump_probability=1.5)

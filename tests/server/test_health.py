@@ -1,0 +1,113 @@
+"""Tests for repro.server.health (deployment monitoring)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.server.health import (
+    ISSUE_LOW_READ_RATE,
+    ISSUE_NOT_SEEN,
+    ISSUE_POOR_COVERAGE,
+    ISSUE_WEAK_PEAK,
+    DeploymentMonitor,
+    format_health_table,
+)
+from repro.server.registry import SpinningTagRecord, TagRegistry
+
+
+@pytest.fixture(scope="module")
+def healthy_batch(calibrated_scenario_2d):
+    batch, _reader = calibrated_scenario_2d.collect(Point3(0.4, 1.9, 0.0))
+    return batch
+
+
+class TestHealthyDeployment:
+    def test_all_healthy(self, calibrated_scenario_2d, healthy_batch):
+        monitor = DeploymentMonitor(calibrated_scenario_2d.scene.registry)
+        reports = monitor.check_all(healthy_batch)
+        assert len(reports) == 2
+        for report in reports.values():
+            assert report.healthy, report.issues
+            assert report.read_rate_hz > 10.0
+            assert report.rotation_coverage > 0.8
+            assert report.peak_power is not None
+            assert report.peak_power > 0.4
+
+    def test_unhealthy_list_empty(self, calibrated_scenario_2d, healthy_batch):
+        monitor = DeploymentMonitor(calibrated_scenario_2d.scene.registry)
+        assert monitor.unhealthy(healthy_batch) == []
+
+
+class TestFailureDetection:
+    def test_unseen_tag_flagged(self, calibrated_scenario_2d, healthy_batch):
+        registry = calibrated_scenario_2d.scene.registry
+        epc = registry.epcs()[0]
+        stripped = healthy_batch.filter_epc(registry.epcs()[1])
+        monitor = DeploymentMonitor(registry)
+        report = monitor.check_tag(stripped, epc)
+        assert ISSUE_NOT_SEEN in report.issues
+
+    def test_stale_registry_speed_weakens_peak(
+        self, calibrated_scenario_2d, healthy_batch
+    ):
+        """A wrong angular speed in the registry collapses the spectrum
+        peak: the monitor should notice the model mismatch."""
+        true_registry = calibrated_scenario_2d.scene.registry
+        stale = TagRegistry()
+        for record in true_registry:
+            wrong_disk = replace(
+                record.disk, angular_speed=record.disk.angular_speed * 1.5
+            )
+            stale.register(
+                SpinningTagRecord(
+                    epc=record.epc,
+                    disk=wrong_disk,
+                    model_key=record.model_key,
+                    orientation_profile=record.orientation_profile,
+                )
+            )
+        monitor = DeploymentMonitor(stale)
+        for report in monitor.check_all(healthy_batch).values():
+            assert ISSUE_WEAK_PEAK in report.issues
+
+    def test_sparse_reads_flag_rate(self, calibrated_scenario_2d, healthy_batch):
+        registry = calibrated_scenario_2d.scene.registry
+        epc = registry.epcs()[0]
+        from repro.hardware.llrp import ReportBatch
+
+        tag_reports = [r for r in healthy_batch.reports if r.epc == epc]
+        sparse = ReportBatch(tag_reports[::12])
+        monitor = DeploymentMonitor(registry)
+        report = monitor.check_tag(sparse, epc)
+        assert ISSUE_LOW_READ_RATE in report.issues
+
+    def test_stalled_disk_flags_coverage(
+        self, calibrated_scenario_2d, healthy_batch
+    ):
+        """Keep only reads from a small slice of the rotation — what a
+        stalled disk produces."""
+        registry = calibrated_scenario_2d.scene.registry
+        epc = registry.epcs()[0]
+        record = registry.get(epc)
+        from repro.hardware.llrp import ReportBatch
+
+        period = record.disk.period
+        slice_reports = [
+            r
+            for r in healthy_batch.reports
+            if r.epc == epc and (r.reader_time_s % period) < 0.15 * period
+        ]
+        monitor = DeploymentMonitor(registry)
+        report = monitor.check_tag(ReportBatch(slice_reports), epc)
+        assert ISSUE_POOR_COVERAGE in report.issues
+
+
+def test_format_health_table(calibrated_scenario_2d, healthy_batch):
+    monitor = DeploymentMonitor(calibrated_scenario_2d.scene.registry)
+    table = format_health_table(list(monitor.check_all(healthy_batch).values()))
+    assert "rate_hz" in table
+    assert "ok" in table

@@ -1,0 +1,69 @@
+"""Tests for repro.server.registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import make_orientation_profile
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError, UnknownTagError
+from repro.hardware.rotator import horizontal_disk
+from repro.server.registry import SpinningTagRecord, TagRegistry
+
+
+@pytest.fixture
+def record() -> SpinningTagRecord:
+    return SpinningTagRecord(
+        epc="E200AA",
+        disk=horizontal_disk(Point3(0, 0, 0), 0.1, 1.0),
+    )
+
+
+class TestRegistry:
+    def test_register_and_get(self, record):
+        registry = TagRegistry()
+        registry.register(record)
+        assert registry.get("E200AA") is record
+        assert "E200AA" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self, record):
+        registry = TagRegistry()
+        registry.register(record)
+        with pytest.raises(ConfigurationError):
+            registry.register(record)
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(UnknownTagError):
+            TagRegistry().get("MISSING")
+
+    def test_iteration_and_epcs(self, record):
+        registry = TagRegistry()
+        registry.register(record)
+        assert [r.epc for r in registry] == ["E200AA"]
+        assert registry.epcs() == ["E200AA"]
+
+    def test_set_orientation_profile(self, record):
+        registry = TagRegistry()
+        registry.register(record)
+        profile = make_orientation_profile(np.array([0.3]), np.array([0.0]))
+        registry.set_orientation_profile("E200AA", profile)
+        assert registry.get("E200AA").orientation_profile is profile
+        # Original record object is unchanged (immutable replace).
+        assert record.orientation_profile is None
+
+    def test_unregister(self, record):
+        registry = TagRegistry()
+        registry.register(record)
+        registry.unregister("E200AA")
+        assert "E200AA" not in registry
+        with pytest.raises(UnknownTagError):
+            registry.unregister("E200AA")
+
+    def test_with_profile_copy(self, record):
+        profile = make_orientation_profile(np.array([0.2]), np.array([0.1]))
+        updated = record.with_profile(profile)
+        assert updated.orientation_profile is profile
+        assert updated.epc == record.epc
+        assert updated.disk is record.disk

@@ -1,0 +1,91 @@
+"""Tests for repro.server.service (the central localization server)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import InsufficientDataError
+from repro.hardware.llrp import ROSpec
+from repro.server.service import LocalizationServer
+
+
+@pytest.fixture(scope="module")
+def served(calibrated_scenario_2d):
+    """A server fed with one reader's stream, plus the ground truth."""
+    scenario = calibrated_scenario_2d
+    pose = Point3(0.5, 1.9, 0.0)
+    batch, reader = scenario.collect(pose)
+    server = LocalizationServer(
+        scenario.scene.registry, scenario.config.pipeline
+    )
+    server.ingest("reader-1", batch.reports)
+    return server, reader
+
+
+class TestIngestion:
+    def test_ingest_counts(self, served):
+        server, _reader = served
+        assert server.stream_report_count("reader-1", 1) > 100
+
+    def test_streams_listing(self, served):
+        server, _reader = served
+        assert ("reader-1", 1) in server.streams()
+
+    def test_buffer_cap(self, calibrated_scenario_2d):
+        scenario = calibrated_scenario_2d
+        pose = Point3(0.5, 1.9, 0.0)
+        batch, _reader = scenario.collect(pose)
+        server = LocalizationServer(scenario.scene.registry, max_buffer=50)
+        server.ingest("r", batch.reports)
+        assert server.stream_report_count("r", 1) == 50
+
+    def test_invalid_buffer(self, calibrated_scenario_2d):
+        with pytest.raises(ValueError):
+            LocalizationServer(
+                calibrated_scenario_2d.scene.registry, max_buffer=0
+            )
+
+
+class TestQueries:
+    def test_locate_antenna_2d(self, served):
+        server, reader = served
+        fix = server.locate_antenna_2d("reader-1", 1)
+        truth = reader.antenna(1).position.horizontal()
+        assert fix.position.distance_to(truth) < 0.15
+
+    def test_locate_unknown_stream(self, served):
+        server, _reader = served
+        with pytest.raises(InsufficientDataError):
+            server.locate_antenna_2d("ghost-reader", 1)
+
+    def test_locate_all_2d(self, served):
+        server, reader = served
+        fixes = server.locate_all_2d("reader-1")
+        assert set(fixes) == {1}
+        truth = reader.antenna(1).position.horizontal()
+        assert fixes[1].position.distance_to(truth) < 0.15
+
+    def test_clear(self, calibrated_scenario_2d):
+        scenario = calibrated_scenario_2d
+        pose = Point3(0.5, 1.9, 0.0)
+        batch, _reader = scenario.collect(pose)
+        server = LocalizationServer(scenario.scene.registry)
+        server.ingest("r", batch.reports)
+        server.clear("r")
+        assert server.streams() == []
+
+    def test_multi_antenna_streams(self, calibrated_scenario_2d):
+        scenario = calibrated_scenario_2d
+        pose = Point3(0.2, 1.7, 0.0)
+        batch, reader = scenario.collect(pose, num_antennas=2)
+        server = LocalizationServer(
+            scenario.scene.registry, scenario.config.pipeline
+        )
+        server.ingest("r", batch.reports)
+        fixes = server.locate_all_2d("r")
+        assert set(fixes) == {1, 2}
+        for port, fix in fixes.items():
+            truth = reader.antenna(port).position.horizontal()
+            assert fix.position.distance_to(truth) < 0.2

@@ -1,0 +1,126 @@
+"""Tests for repro.sim.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sim.metrics import (
+    Cdf,
+    ErrorCollection,
+    ErrorSample,
+    ErrorSummary,
+    improvement_factor,
+)
+
+positive_samples = arrays(
+    float,
+    st.integers(min_value=1, max_value=50),
+    elements=st.floats(min_value=0.0, max_value=10.0),
+)
+
+
+class TestErrorSample:
+    def test_combined_2d(self):
+        assert ErrorSample(x=3.0, y=4.0).combined == pytest.approx(5.0)
+
+    def test_combined_3d(self):
+        assert ErrorSample(x=1.0, y=2.0, z=2.0).combined == pytest.approx(3.0)
+
+
+class TestCdf:
+    def test_monotone(self):
+        cdf = Cdf.from_samples([3.0, 1.0, 2.0, 5.0])
+        assert np.all(np.diff(cdf.values) >= 0)
+        assert np.all(np.diff(cdf.probabilities) > 0)
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+
+    def test_percentile(self):
+        cdf = Cdf.from_samples(list(range(1, 101)))
+        assert cdf.percentile(0.9) == pytest.approx(90.0)
+        assert cdf.percentile(1.0) == pytest.approx(100.0)
+
+    def test_percentile_bounds(self):
+        cdf = Cdf.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.percentile(0.0)
+        with pytest.raises(ValueError):
+            cdf.percentile(1.5)
+
+    def test_probability_below(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_below(2.5) == pytest.approx(0.5)
+        assert cdf.probability_below(0.0) == 0.0
+        assert cdf.probability_below(10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([])
+
+    @given(positive_samples)
+    @settings(max_examples=30)
+    def test_percentile_within_sample_range(self, samples):
+        cdf = Cdf.from_samples(samples)
+        for p in (0.1, 0.5, 0.9, 1.0):
+            value = cdf.percentile(p)
+            assert samples.min() <= value <= samples.max()
+
+
+class TestErrorSummary:
+    def test_statistics(self):
+        summary = ErrorSummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+
+    def test_centimeter_view(self):
+        summary = ErrorSummary.from_samples([0.05, 0.15])
+        stats = summary.as_centimeters()
+        assert stats["mean_cm"] == pytest.approx(10.0)
+        assert stats["count"] == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_samples([])
+
+    @given(positive_samples)
+    @settings(max_examples=30)
+    def test_ordering_invariants(self, samples):
+        eps = 1e-9  # float accumulation slack (mean of identical values)
+        summary = ErrorSummary.from_samples(samples)
+        assert summary.minimum <= summary.median <= summary.maximum + eps
+        assert summary.minimum - eps <= summary.mean <= summary.maximum + eps
+        assert summary.median <= summary.p90 + eps <= summary.maximum + 2 * eps
+
+
+class TestErrorCollection:
+    def test_axis_extraction(self):
+        collection = ErrorCollection()
+        collection.add(ErrorSample(x=1.0, y=2.0))
+        collection.add(ErrorSample(x=3.0, y=4.0))
+        assert np.allclose(collection.axis("x"), [1.0, 3.0])
+        assert np.allclose(collection.axis("combined"), [np.sqrt(5), 5.0])
+
+    def test_missing_z_axis_raises(self):
+        collection = ErrorCollection()
+        collection.add(ErrorSample(x=1.0, y=2.0))
+        with pytest.raises(ValueError):
+            collection.axis("z")
+
+    def test_summary_and_cdf(self):
+        collection = ErrorCollection()
+        for value in (1.0, 2.0, 3.0):
+            collection.add(ErrorSample(x=value, y=0.0))
+        assert collection.summary("x").mean == pytest.approx(2.0)
+        assert collection.cdf("x").percentile(1.0) == pytest.approx(3.0)
+
+
+def test_improvement_factor():
+    assert improvement_factor(10.0, 2.0) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        improvement_factor(1.0, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.sim.recording."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.rotator import Mount, horizontal_disk, vertical_disk
+from repro.server.registry import SpinningTagRecord
+from repro.sim.recording import SessionRecording
+
+
+@pytest.fixture
+def recording() -> SessionRecording:
+    reports = [
+        TagReportData(
+            epc="E200AA",
+            antenna_port=1,
+            channel_index=5,
+            reader_timestamp_us=1000 * i,
+            host_timestamp_us=1000 * i + 200,
+            phase_rad=0.5 * i % 6.28,
+            rssi_dbm=-55.0,
+        )
+        for i in range(5)
+    ]
+    records = [
+        SpinningTagRecord(
+            epc="E200AA",
+            disk=horizontal_disk(Point3(-0.25, 0, 0), 0.1, 1.0, phase0=0.3),
+        ),
+        SpinningTagRecord(
+            epc="E200BB",
+            disk=vertical_disk(Point3(0.25, 0, 0), 0.1, 2.0),
+            model_key="short",
+        ),
+    ]
+    return SessionRecording(
+        batch=ReportBatch(reports),
+        registry_records=records,
+        truth=Point3(0.4, 1.9, 0.0),
+        label="unit-test",
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, recording):
+        restored = SessionRecording.from_dict(recording.to_dict())
+        assert restored.label == "unit-test"
+        assert restored.truth == recording.truth
+        assert restored.batch.reports == recording.batch.reports
+        assert len(restored.registry_records) == 2
+
+    def test_disk_geometry_preserved(self, recording):
+        restored = SessionRecording.from_dict(recording.to_dict())
+        original = recording.registry_records[1].disk
+        disk = restored.registry_records[1].disk
+        assert disk.center == original.center
+        assert disk.basis_v == original.basis_v
+        assert disk.angular_speed == original.angular_speed
+        assert disk.mount is Mount.EDGE
+
+    def test_file_roundtrip(self, recording, tmp_path):
+        path = tmp_path / "session.json"
+        recording.save(path)
+        restored = SessionRecording.load(path)
+        assert restored.batch.reports == recording.batch.reports
+
+    def test_truthless_recording(self, recording):
+        recording.truth = None
+        restored = SessionRecording.from_dict(recording.to_dict())
+        assert restored.truth is None
+
+    def test_version_checked(self, recording):
+        data = recording.to_dict()
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            SessionRecording.from_dict(data)
+
+    def test_build_registry(self, recording):
+        registry = recording.build_registry()
+        assert len(registry) == 2
+        assert registry.get("E200BB").model_key == "short"
+
+
+    def test_orientation_profile_roundtrip(self, recording):
+        import numpy as np
+
+        from repro.core.calibration import make_orientation_profile
+
+        profile = make_orientation_profile(
+            np.array([0.1, 0.3]), np.array([0.4, 1.2])
+        )
+        recording.registry_records[0] = recording.registry_records[0].with_profile(
+            profile
+        )
+        restored = SessionRecording.from_dict(recording.to_dict())
+        restored_profile = restored.registry_records[0].orientation_profile
+        assert restored_profile is not None
+        grid = np.linspace(0, 2 * np.pi, 32)
+        assert np.allclose(restored_profile.offset(grid), profile.offset(grid))

@@ -1,0 +1,118 @@
+"""Tests for repro.sim.scenario and repro.sim.runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point2, Point3
+from repro.core.pipeline import PipelineConfig
+from repro.sim.runner import (
+    SweepPoint,
+    format_sweep_table,
+    run_trials_2d,
+    run_trials_3d,
+    sweep,
+)
+from repro.sim.metrics import ErrorSummary
+from repro.sim.scenario import (
+    ScenarioConfig,
+    TagspinScenario,
+    paper_default_scenario,
+)
+from repro.sim.scene import DeploymentSpec
+
+
+class TestScenario:
+    def test_collection_duration_default(self):
+        config = ScenarioConfig()
+        period = 2 * np.pi / config.deployment.angular_speed
+        assert config.collection_duration() == pytest.approx(2 * period)
+
+    def test_collection_duration_explicit(self):
+        config = ScenarioConfig(duration_s=4.2)
+        assert config.collection_duration() == 4.2
+
+    def test_prelude_fits_all_profiles(self):
+        scenario = paper_default_scenario(seed=51)
+        assert all(
+            r.orientation_profile is None for r in scenario.scene.registry
+        )
+        scenario.run_orientation_prelude()
+        assert all(
+            r.orientation_profile is not None for r in scenario.scene.registry
+        )
+
+    def test_prelude_profile_close_to_truth(self):
+        from repro.core.calibration import profile_distance
+
+        scenario = paper_default_scenario(seed=53)
+        scenario.run_orientation_prelude()
+        for unit in scenario.scene.spinning_units:
+            fitted = scenario.scene.registry.get(unit.tag.epc).orientation_profile
+            assert fitted is not None
+            assert profile_distance(fitted, unit.tag.orientation_truth) < 0.12
+
+    def test_multi_antenna_reader(self):
+        scenario = paper_default_scenario(seed=55)
+        reader = scenario.make_reader(Point3(0.0, 2.0, 0.0), num_antennas=4)
+        assert len(reader.antennas) == 4
+        positions = [reader.antenna(p).position.x for p in (1, 2, 3, 4)]
+        assert positions == sorted(positions)
+
+    def test_with_pipeline_shares_scene(self):
+        scenario = paper_default_scenario(seed=57)
+        sibling = scenario.with_pipeline(
+            PipelineConfig(orientation_calibration=False)
+        )
+        assert sibling.scene is scenario.scene
+        assert not sibling.config.pipeline.orientation_calibration
+        assert scenario.config.pipeline.orientation_calibration
+
+
+class TestRunner:
+    def test_run_trials_2d(self, calibrated_scenario_2d):
+        poses = [Point2(0.3, 1.6), Point2(-0.5, 2.1)]
+        batch = run_trials_2d(calibrated_scenario_2d, positions=poses)
+        assert batch.trials == 2
+        assert batch.failures == 0
+        assert batch.summary().mean < 0.3
+
+    def test_run_trials_3d(self, calibrated_scenario_3d):
+        poses = [Point3(0.3, 1.8, 0.5)]
+        batch = run_trials_3d(calibrated_scenario_3d, positions=poses)
+        assert batch.trials == 1
+        assert batch.summary().count == 1
+
+    def test_runner_calibrates_when_needed(self):
+        scenario = paper_default_scenario(seed=61)
+        run_trials_2d(scenario, positions=[Point2(0.4, 1.8)])
+        assert all(
+            r.orientation_profile is not None for r in scenario.scene.registry
+        )
+
+    def test_sweep_runs_each_value(self):
+        def factory(radius):
+            return TagspinScenario(
+                ScenarioConfig(
+                    deployment=DeploymentSpec(disk_radius=radius),
+                    pipeline=PipelineConfig(orientation_calibration=False),
+                    seed=63,
+                )
+            )
+
+        points = sweep([0.08, 0.12], factory, trials=2, seed=64)
+        assert [p.value for p in points] == [0.08, 0.12]
+        assert all(p.summary.count + p.failures == 2 for p in points)
+
+    def test_format_sweep_table(self):
+        points = [
+            SweepPoint(
+                value=0.1,
+                summary=ErrorSummary.from_samples([0.05, 0.07]),
+                failures=0,
+            )
+        ]
+        table = format_sweep_table(points, "radius_cm", value_scale=100.0)
+        assert "radius_cm" in table
+        assert "10.0" in table

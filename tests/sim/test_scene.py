@@ -1,0 +1,132 @@
+"""Tests for repro.sim.scene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError
+from repro.sim.scene import (
+    DeploymentSpec,
+    build_scene,
+    default_room,
+    reference_grid,
+    sample_reader_positions_2d,
+    sample_reader_positions_3d,
+)
+
+
+class TestDeploymentSpec:
+    def test_default_two_disks_50cm_apart(self):
+        spec = DeploymentSpec()
+        assert len(spec.disk_centers) == 2
+        distance = spec.disk_centers[0].distance_to(spec.disk_centers[1])
+        assert distance == pytest.approx(0.50)
+
+    def test_overlapping_disks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentSpec(
+                disk_centers=(Point3(0, 0, 0), Point3(0.1, 0, 0)),
+                disk_radius=0.10,
+            )
+
+    def test_no_disks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentSpec(disk_centers=())
+
+
+class TestBuildScene:
+    def test_registry_matches_units(self, rng):
+        scene = build_scene(rng=rng)
+        assert len(scene.registry) == 2
+        for unit in scene.spinning_units:
+            record = scene.registry.get(unit.tag.epc)
+            assert record.disk is unit.disk
+
+    def test_stagger_phase(self, rng):
+        scene = build_scene(rng=rng, stagger_phase=True)
+        phases = [u.disk.phase0 for u in scene.spinning_units]
+        assert phases[0] != phases[1]
+
+    def test_no_stagger(self, rng):
+        scene = build_scene(rng=rng, stagger_phase=False)
+        assert all(u.disk.phase0 == 0.0 for u in scene.spinning_units)
+
+    def test_spinning_unit_lookup(self, rng):
+        scene = build_scene(rng=rng)
+        epc = scene.spinning_units[0].tag.epc
+        assert scene.spinning_unit_for(epc) is scene.spinning_units[0]
+        with pytest.raises(ConfigurationError):
+            scene.spinning_unit_for("NOPE")
+
+    def test_default_room_dimensions(self):
+        room = default_room()
+        assert room.x1 - room.x0 == pytest.approx(9.0)
+        assert room.y1 - room.y0 == pytest.approx(6.0)
+
+
+class TestReferenceGrid:
+    def test_count_and_spacing(self, rng):
+        units = reference_grid(3, 4, 0.5, rng=rng)
+        assert len(units) == 12
+        xs = sorted({u.location.x for u in units})
+        assert np.allclose(np.diff(xs), 0.5)
+
+    def test_centered_on_origin(self, rng):
+        units = reference_grid(3, 3, 1.0, origin=Point3(0.5, 2.0, 0.0), rng=rng)
+        mean_x = np.mean([u.location.x for u in units])
+        mean_y = np.mean([u.location.y for u in units])
+        assert mean_x == pytest.approx(0.5)
+        assert mean_y == pytest.approx(2.0)
+
+    def test_unique_epcs(self, rng):
+        units = reference_grid(2, 5, 0.4, rng=rng)
+        assert len({u.tag.epc for u in units}) == 10
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            reference_grid(0, 3, 0.5, rng=rng)
+        with pytest.raises(ValueError):
+            reference_grid(2, 2, 0.0, rng=rng)
+
+
+class TestReaderSampling:
+    def test_2d_count_and_ranges(self, rng):
+        positions = sample_reader_positions_2d(
+            25, rng, x_range=(-1, 1), y_range=(1, 2)
+        )
+        assert len(positions) == 25
+        assert all(-1 <= p.x <= 1 and 1 <= p.y <= 2 for p in positions)
+
+    def test_min_disk_distance_respected(self, rng):
+        centers = [Point3(0.0, 1.5, 0.0)]
+        positions = sample_reader_positions_2d(
+            30,
+            rng,
+            x_range=(-1, 1),
+            y_range=(1, 2),
+            min_disk_distance=0.7,
+            disk_centers=centers,
+        )
+        assert all(
+            p.distance_to(centers[0].horizontal()) >= 0.7 for p in positions
+        )
+
+    def test_impossible_constraint_raises(self, rng):
+        centers = [Point3(0.0, 1.5, 0.0)]
+        with pytest.raises(ConfigurationError):
+            sample_reader_positions_2d(
+                5,
+                rng,
+                x_range=(-0.1, 0.1),
+                y_range=(1.4, 1.6),
+                min_disk_distance=5.0,
+                disk_centers=centers,
+            )
+
+    def test_3d_heights_in_range(self, rng):
+        positions = sample_reader_positions_3d(
+            10, rng, z_range=(0.2, 0.8)
+        )
+        assert all(0.2 <= p.z <= 0.8 for p in positions)

@@ -1,0 +1,74 @@
+"""Tests for repro.constants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import (
+    BAND_HIGH_HZ,
+    BAND_LOW_HZ,
+    DEFAULT_WAVELENGTH_M,
+    NUM_CHANNELS,
+    PHASE_NOISE_STD_RAD,
+    RELATIVE_PHASE_STD_RAD,
+    SPEED_OF_LIGHT,
+    channel_frequencies,
+    wavelength_for_frequency,
+)
+
+
+class TestWavelengths:
+    def test_default_wavelength_is_paper_band(self):
+        """The paper's band gives ~32.4-32.6 cm wavelengths."""
+        assert 0.3240 < DEFAULT_WAVELENGTH_M < 0.3260
+
+    def test_band_edges(self):
+        low = wavelength_for_frequency(BAND_HIGH_HZ)
+        high = wavelength_for_frequency(BAND_LOW_HZ)
+        assert low < DEFAULT_WAVELENGTH_M < high
+
+    @given(st.floats(min_value=1e6, max_value=1e10))
+    @settings(max_examples=30)
+    def test_roundtrip(self, frequency):
+        wavelength = wavelength_for_frequency(frequency)
+        assert wavelength * frequency == pytest.approx(SPEED_OF_LIGHT)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            wavelength_for_frequency(0.0)
+
+
+class TestChannelTable:
+    def test_count(self):
+        assert channel_frequencies().size == NUM_CHANNELS
+
+    def test_within_band(self):
+        frequencies = channel_frequencies()
+        assert np.all(frequencies > BAND_LOW_HZ)
+        assert np.all(frequencies < BAND_HIGH_HZ)
+
+    def test_evenly_spaced(self):
+        spacings = np.diff(channel_frequencies())
+        assert np.allclose(spacings, spacings[0])
+
+    def test_edge_inset_half_spacing(self):
+        frequencies = channel_frequencies()
+        spacing = frequencies[1] - frequencies[0]
+        assert frequencies[0] - BAND_LOW_HZ == pytest.approx(spacing / 2)
+        assert BAND_HIGH_HZ - frequencies[-1] == pytest.approx(spacing / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            channel_frequencies(num_channels=0)
+        with pytest.raises(ValueError):
+            channel_frequencies(band_low_hz=1e9, band_high_hz=9e8)
+
+
+def test_relative_phase_std_is_sqrt2_sigma():
+    """Definition 4.1: the difference of two measurements has sqrt(2)*sigma."""
+    assert RELATIVE_PHASE_STD_RAD == pytest.approx(
+        PHASE_NOISE_STD_RAD * np.sqrt(2.0)
+    )
