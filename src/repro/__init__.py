@@ -48,16 +48,31 @@ from repro.errors import (
     AmbiguityError,
     CalibrationError,
     ConfigurationError,
+    DegradedServiceError,
     InsufficientDataError,
+    PermanentError,
     TagspinError,
+    TransientError,
     UnknownTagError,
 )
 from repro.hardware.llrp import ReportBatch, ROSpec, TagReportData
 from repro.hardware.reader import SimulatedReader, SpinningTagUnit, StaticTagUnit
 from repro.hardware.rotator import Mount, SpinningDisk, horizontal_disk, vertical_disk
 from repro.hardware.tags import TABLE_I, TagInstance, TagModel, make_tag
+from repro.robustness import (
+    DegradationState,
+    DiskExclusion,
+    DiskQuality,
+    FixDiagnostics,
+    GatingPolicy,
+    PipelineDiagnostics,
+    QuarantineStats,
+    ReportValidator,
+    ValidationConfig,
+)
 from repro.server.health import DeploymentMonitor, HealthReport
 from repro.server.registry import SpinningTagRecord, TagRegistry
+from repro.server.resilience import ResilientLocalizationServer, RetryPolicy
 from repro.server.service import LocalizationServer
 from repro.sim.metrics import Cdf, ErrorCollection, ErrorSample, ErrorSummary
 from repro.sim.scenario import (
@@ -87,14 +102,23 @@ __all__ = [
     "ClosedLoopExperiment",
     "ConfigurationError",
     "ConstantVelocityKalman",
+    "DEFAULT_ANGULAR_SPEED_RAD_S",
+    "DEFAULT_DISK_RADIUS_M",
+    "DEFAULT_WAVELENGTH_M",
+    "DegradationState",
+    "DegradedServiceError",
     "DeploymentMonitor",
     "DeploymentSpec",
+    "DiskExclusion",
+    "DiskQuality",
     "ErrorCollection",
     "ErrorSample",
     "ErrorSummary",
     "Fix2D",
     "Fix3D",
+    "FixDiagnostics",
     "FourierSeries",
+    "GatingPolicy",
     "HealthReport",
     "HyperbolicTagLocator",
     "InsufficientDataError",
@@ -103,12 +127,19 @@ __all__ = [
     "Mount",
     "OrientationCalibrator",
     "OrientationProfile",
+    "PHASE_NOISE_STD_RAD",
+    "PermanentError",
     "PipelineConfig",
+    "PipelineDiagnostics",
     "PlannedDisk",
     "Point2",
     "Point3",
+    "QuarantineStats",
     "ReaderTracker",
     "ReportBatch",
+    "ReportValidator",
+    "ResilientLocalizationServer",
+    "RetryPolicy",
     "ROSpec",
     "Scene",
     "ScenarioConfig",
@@ -129,7 +160,9 @@ __all__ = [
     "TagspinScenario",
     "TagspinSystem",
     "TrackPoint",
+    "TransientError",
     "UnknownTagError",
+    "ValidationConfig",
     "accuracy_map",
     "build_scene",
     "compute_q_profile",

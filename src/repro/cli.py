@@ -15,6 +15,9 @@ Commands
     Print the predicted-accuracy map for a two-disk layout.
 ``health``
     Simulate a collection and print the deployment health table.
+``diagnose``
+    Simulate a collection with an optional injected fault, run it through
+    the resilient server and print the fix with its full diagnostics.
 """
 
 from __future__ import annotations
@@ -146,6 +149,82 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.geometry import Point3
+    from repro.server.health import format_health_table
+    from repro.server.resilience import ResilientLocalizationServer
+    from repro.sim import faults
+    from repro.sim.scenario import ScenarioConfig, TagspinScenario
+    from repro.sim.scene import DeploymentSpec
+
+    if args.disks < 2:
+        print("diagnose: --disks must be >= 2 (triangulation needs two "
+              "bearings)", file=sys.stderr)
+        return 2
+    if args.disks == 2:
+        spec = DeploymentSpec()
+    else:
+        # Spread extra disks on a small arc so every pair keeps a usable
+        # triangulation baseline.
+        centers = [
+            Point3(
+                0.7 * np.cos(np.pi * (0.25 + 0.5 * i / (args.disks - 1))),
+                0.7 * np.sin(np.pi * (0.25 + 0.5 * i / (args.disks - 1))) - 0.7,
+                0.0,
+            )
+            for i in range(args.disks)
+        ]
+        spec = DeploymentSpec(disk_centers=tuple(centers))
+    scenario = TagspinScenario(ScenarioConfig(deployment=spec, seed=args.seed))
+    scenario.run_orientation_prelude()
+    pose = Point3(args.x, args.y, 0.0)
+    batch, reader = scenario.collect(pose)
+    rng = np.random.default_rng(args.seed + 1)
+
+    target_epc = scenario.scene.registry.epcs()[0]
+    if args.fault == "stall":
+        disk = scenario.scene.registry.get(target_epc).disk
+        batch = faults.stall_disk(batch, disk, target_epc)
+    elif args.fault == "jam":
+        batch = faults.jam_window(batch, 1.0, 4.0, rng)
+    elif args.fault == "pi-slips":
+        batch = faults.pi_slips(batch, 0.15, rng)
+    elif args.fault == "duplicates":
+        batch = faults.duplicate_reports(batch, 0.3, rng)
+    elif args.fault == "corrupt":
+        batch = faults.corrupt_quantization(batch, 0.2, rng)
+
+    server = ResilientLocalizationServer(
+        scenario.scene.registry, scenario.config.pipeline
+    )
+    server.ingest("reader-1", batch.reports)
+    fix, diagnostics = server.locate_antenna_2d_diagnosed("reader-1")
+    truth = reader.antenna(1).position.horizontal()
+
+    print(f"fault       : {args.fault}")
+    print(f"true pose   : ({args.x:.3f}, {args.y:.3f}) m")
+    print(f"estimate    : ({fix.position.x:.3f}, {fix.position.y:.3f}) m")
+    print(f"error       : {fix.position.distance_to(truth) * 100:.2f} cm")
+    print(f"degradation : {diagnostics.degradation.value}")
+    print(f"profile     : {diagnostics.pipeline.profile_used}"
+          + (" (fallback)" if diagnostics.pipeline.fallback_applied else ""))
+    print(f"disks used  : {', '.join(diagnostics.disks_used)}")
+    for exclusion in diagnostics.disks_excluded:
+        print(f"excluded    : {exclusion.epc} ({', '.join(exclusion.reasons)})")
+    quarantine = diagnostics.quarantine
+    print(
+        f"quarantine  : {quarantine.quarantined}/{quarantine.received} rejected,"
+        f" {quarantine.pi_slips_repaired} pi-slips repaired,"
+        f" {quarantine.reordered} reordered"
+    )
+    print()
+    monitor_batch = server._batch_for("reader-1", 1)
+    print(format_health_table(
+        list(server.monitor.check_all(monitor_batch).values())
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tagspin",
@@ -192,6 +271,22 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--y", type=float, default=1.9, help="reader y [m]")
     _add_common(ph)
     ph.set_defaults(func=_cmd_health)
+
+    pd = subparsers.add_parser(
+        "diagnose", help="resilient-server fix with fault injection"
+    )
+    pd.add_argument(
+        "--fault",
+        choices=["none", "stall", "jam", "pi-slips", "duplicates", "corrupt"],
+        default="none",
+        help="fault to inject into the simulated stream",
+    )
+    pd.add_argument("--disks", type=int, default=3,
+                    help="number of spinning disks (>= 2)")
+    pd.add_argument("--x", type=float, default=0.4, help="reader x [m]")
+    pd.add_argument("--y", type=float, default=1.9, help="reader y [m]")
+    _add_common(pd)
+    pd.set_defaults(func=_cmd_diagnose)
 
     return parser
 

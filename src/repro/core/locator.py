@@ -25,6 +25,7 @@ from repro.core.geometry import (
     height_from_polar,
     intersect_bearings_2d,
     least_squares_intersection,
+    point_line_distance,
     triangulation_residual,
 )
 from repro.core.spectrum import AngleSpectrum, JointSpectrum
@@ -169,6 +170,20 @@ class TagspinLocator3D:
             c for c in allowed if np.sign(c.z) == self.prefer_sign or c.z == 0.0
         ]
         return preferred[0] if preferred else allowed[0]
+
+
+def per_bearing_residuals(
+    point: Point2, bearings: Sequence[Bearing2D]
+) -> List[float]:
+    """Perpendicular distance from ``point`` to each bearing line [m].
+
+    The per-disk companion of :func:`triangulation_residual`: quality
+    gating uses it to attribute a bad intersection to the disk whose
+    bearing disagrees, instead of blaming the fix as a whole.
+    """
+    if not bearings:
+        raise ValueError("no bearings")
+    return [float(point_line_distance(point, b)) for b in bearings]
 
 
 def spectra_to_bearings(

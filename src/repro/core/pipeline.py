@@ -20,8 +20,8 @@ pass already gets within a degree or two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,14 @@ from repro.core.spectrum import (
 )
 from repro.errors import InsufficientDataError
 from repro.hardware.llrp import ReportBatch
+from repro.robustness.diagnostics import DiskExclusion, PipelineDiagnostics
+from repro.robustness.gating import (
+    DiskQuality,
+    GatingPolicy,
+    score_disk,
+    select_disks,
+    starved_quality,
+)
 from repro.server.registry import SpinningTagRecord, TagRegistry
 
 
@@ -76,6 +84,13 @@ class PipelineConfig:
     z_min: float = -np.inf
     z_max: float = np.inf
     prefer_sign: int = 1
+    #: Score each disk's spectrum and exclude untrustworthy disks before
+    #: triangulating (see :mod:`repro.robustness.gating`).  Off by default
+    #: so the ungated paper pipeline stays bit-identical; the resilient
+    #: server turns it on.
+    disk_gating: bool = False
+    #: Thresholds of the quality gate (used only when ``disk_gating``).
+    gating: GatingPolicy = field(default_factory=GatingPolicy)
 
 
 @dataclass(frozen=True)
@@ -176,13 +191,23 @@ class TagspinSystem:
     # Spectrum generation
     # ------------------------------------------------------------------
     def azimuth_spectrum(
-        self, series_list: Sequence[SnapshotSeries]
+        self,
+        series_list: Sequence[SnapshotSeries],
+        enhanced: Optional[bool] = None,
     ) -> AngleSpectrum:
-        """Fused azimuth spectrum across the per-channel series."""
+        """Fused azimuth spectrum across the per-channel series.
+
+        ``enhanced`` overrides the configured profile choice; the gated
+        pipeline uses it to fall back from R to Q without rebuilding the
+        system.
+        """
+        use_enhanced = (
+            self.config.use_enhanced_profile if enhanced is None else enhanced
+        )
         grid = default_azimuth_grid(self.config.azimuth_resolution)
         spectra = []
         for series in series_list:
-            if self.config.use_enhanced_profile:
+            if use_enhanced:
                 spectra.append(
                     compute_r_profile(series, grid, sigma=self.config.sigma)
                 )
@@ -194,6 +219,7 @@ class TagspinSystem:
         self,
         series_list: Sequence[SnapshotSeries],
         record: Optional[SpinningTagRecord] = None,
+        enhanced: Optional[bool] = None,
     ) -> JointSpectrum:
         """Fused (azimuth x polar) spectrum across the per-channel series.
 
@@ -203,6 +229,9 @@ class TagspinSystem:
         Non-horizontal disks (the vertical-disk extension) dispatch to the
         generalized oriented-profile model.
         """
+        use_enhanced = (
+            self.config.use_enhanced_profile if enhanced is None else enhanced
+        )
         azimuths = default_azimuth_grid(self.config.joint_azimuth_resolution)
         polars = default_polar_grid(self.config.polar_resolution)
         oriented_basis = None
@@ -222,12 +251,12 @@ class TagspinSystem:
                         polars,
                         sigma=(
                             self.config.sigma
-                            if self.config.use_enhanced_profile
+                            if use_enhanced
                             else None
                         ),
                     )
                 )
-            elif self.config.use_enhanced_profile:
+            elif use_enhanced:
                 spectra.append(
                     compute_r_profile_3d(
                         series, azimuths, polars, sigma=self.config.sigma
@@ -280,6 +309,9 @@ class TagspinSystem:
 
     def locate_2d(self, batch: ReportBatch, antenna_port: int = 1) -> Fix2D:
         """Locate the reader antenna in the disk plane."""
+        if self.config.disk_gating:
+            fix, _diagnostics = self.locate_2d_diagnosed(batch, antenna_port)
+            return fix
         epcs = self._spinning_epcs_in(batch, antenna_port)
         all_series = {
             epc: self.extract_series(batch, epc, antenna_port) for epc in epcs
@@ -307,6 +339,238 @@ class TagspinSystem:
             fix = locator.locate(centers, refined)
         return fix
 
+    # ------------------------------------------------------------------
+    # Gated localization (repro.robustness)
+    # ------------------------------------------------------------------
+    def _score_disks(
+        self,
+        epcs: Sequence[str],
+        all_series: Dict[str, List[SnapshotSeries]],
+        spectra: Dict[str, AngleSpectrum | JointSpectrum],
+    ) -> List[DiskQuality]:
+        return [
+            score_disk(
+                self.registry.get(epc),
+                all_series[epc],
+                spectra[epc],
+                self.config.gating,
+            )
+            for epc in epcs
+        ]
+
+    def _extract_series_gated(
+        self,
+        batch: ReportBatch,
+        epcs: Sequence[str],
+        antenna_port: int,
+    ) -> Tuple[Dict[str, List[SnapshotSeries]], List[DiskQuality]]:
+        """Extract series per disk; a disk too starved to yield any series
+        becomes an exclusion record instead of aborting the whole fix."""
+        all_series: Dict[str, List[SnapshotSeries]] = {}
+        starved: List[DiskQuality] = []
+        for epc in epcs:
+            try:
+                all_series[epc] = self.extract_series(batch, epc, antenna_port)
+            except InsufficientDataError:
+                starved.append(starved_quality(epc))
+        return all_series, starved
+
+    def locate_2d_diagnosed(
+        self, batch: ReportBatch, antenna_port: int = 1
+    ) -> Tuple[Fix2D, PipelineDiagnostics]:
+        """Gated 2D localization with full provenance.
+
+        Each disk's spectrum is scored; with three or more disks the
+        failing ones are excluded and the survivors re-triangulated.
+        When the triangulation residual of the enhanced profile R
+        explodes, the traditional profile Q is tried and the better
+        (lower-residual) fix wins — under heavy multipath or a stale
+        orientation profile the likelihood weights of R amplify the very
+        phases that mislead it, and the unweighted Q degrades more
+        gracefully (the paper's own Q-vs-R ablation shows this regime).
+        """
+        epcs = self._spinning_epcs_in(batch, antenna_port)
+        all_series, starved = self._extract_series_gated(
+            batch, epcs, antenna_port
+        )
+        usable = [epc for epc in epcs if epc in all_series]
+        if len(usable) < 2:
+            raise InsufficientDataError(
+                "fewer than two disks produced usable phase series"
+            )
+        spectra = {
+            epc: self.azimuth_spectrum(all_series[epc]) for epc in usable
+        }
+        scored = self._score_disks(usable, all_series, spectra)
+        kept, gate_excluded = select_disks(scored, self.config.gating)
+        qualities = scored + starved
+        excluded = gate_excluded + starved
+        if len(kept) < 2:
+            raise InsufficientDataError(
+                "disk quality gating left fewer than two usable disks"
+            )
+
+        fix = self._locate_2d_from(kept, all_series, enhanced=None)
+        profile = "R" if self.config.use_enhanced_profile else "Q"
+        fallback_applied = False
+        if (
+            self.config.use_enhanced_profile
+            and fix.residual > self.config.gating.fallback_residual_m
+        ):
+            q_fix = self._locate_2d_from(kept, all_series, enhanced=False)
+            if q_fix.residual < fix.residual:
+                fix = q_fix
+                profile = "Q"
+                fallback_applied = True
+
+        diagnostics = PipelineDiagnostics(
+            disks_used=tuple(kept),
+            disks_excluded=tuple(
+                DiskExclusion(q.epc, q.gate_reasons) for q in excluded
+            ),
+            qualities=tuple(qualities),
+            profile_used=profile,
+            fallback_applied=fallback_applied,
+            residual_m=fix.residual,
+        )
+        return fix, diagnostics
+
+    def _locate_2d_from(
+        self,
+        epcs: Sequence[str],
+        all_series: Dict[str, List[SnapshotSeries]],
+        enhanced: Optional[bool],
+    ) -> Fix2D:
+        """Triangulate a fixed disk subset (the clean locate_2d core)."""
+        centers = [
+            self.registry.get(epc).disk.center.horizontal() for epc in epcs
+        ]
+        locator = TagspinLocator2D()
+        spectra = [
+            self.azimuth_spectrum(all_series[epc], enhanced) for epc in epcs
+        ]
+        fix = locator.locate(centers, spectra)
+
+        if self.config.orientation_calibration and any(
+            self.registry.get(epc).orientation_profile is not None
+            for epc in epcs
+        ):
+            coarse = Point3(fix.position.x, fix.position.y, 0.0)
+            refined = []
+            for epc in epcs:
+                record = self.registry.get(epc)
+                corrected = [
+                    self._orientation_corrected(record, s, coarse)
+                    for s in all_series[epc]
+                ]
+                refined.append(self.azimuth_spectrum(corrected, enhanced))
+            fix = locator.locate(centers, refined)
+        return fix
+
+    def locate_3d_diagnosed(
+        self, batch: ReportBatch, antenna_port: int = 1
+    ) -> Tuple[Fix3D, PipelineDiagnostics]:
+        """Gated 3D localization with full provenance.
+
+        Gating operates on the horizontal disks (the triangulating set);
+        a vertical disk, when present, only re-ranks the mirror
+        candidates and is never gated.
+        """
+        epcs = self._spinning_epcs_in(batch, antenna_port)
+        horizontal = [
+            epc for epc in epcs if self.registry.get(epc).disk.is_horizontal
+        ]
+        vertical = [epc for epc in epcs if epc not in horizontal]
+        if len(horizontal) < 2:
+            raise InsufficientDataError(
+                "3D localization needs at least two horizontal disks"
+            )
+        all_series, starved = self._extract_series_gated(
+            batch, epcs, antenna_port
+        )
+        usable = [epc for epc in horizontal if epc in all_series]
+        vertical = [epc for epc in vertical if epc in all_series]
+        if len(usable) < 2:
+            raise InsufficientDataError(
+                "fewer than two horizontal disks produced usable phase series"
+            )
+        spectra = {
+            epc: self.joint_spectrum(all_series[epc], self.registry.get(epc))
+            for epc in usable
+        }
+        scored = self._score_disks(usable, all_series, spectra)
+        kept, gate_excluded = select_disks(scored, self.config.gating)
+        qualities = scored + starved
+        excluded = gate_excluded + starved
+        if len(kept) < 2:
+            raise InsufficientDataError(
+                "disk quality gating left fewer than two usable disks"
+            )
+
+        fix = self._locate_3d_from(kept, all_series, enhanced=None)
+        profile = "R" if self.config.use_enhanced_profile else "Q"
+        fallback_applied = False
+        if (
+            self.config.use_enhanced_profile
+            and fix.residual > self.config.gating.fallback_residual_m
+        ):
+            q_fix = self._locate_3d_from(kept, all_series, enhanced=False)
+            if q_fix.residual < fix.residual:
+                fix = q_fix
+                profile = "Q"
+                fallback_applied = True
+
+        if vertical:
+            fix = self._resolve_with_vertical(fix, vertical[0], all_series)
+
+        diagnostics = PipelineDiagnostics(
+            disks_used=tuple(kept),
+            disks_excluded=tuple(
+                DiskExclusion(q.epc, q.gate_reasons) for q in excluded
+            ),
+            qualities=tuple(qualities),
+            profile_used=profile,
+            fallback_applied=fallback_applied,
+            residual_m=fix.residual,
+        )
+        return fix, diagnostics
+
+    def _locate_3d_from(
+        self,
+        epcs: Sequence[str],
+        all_series: Dict[str, List[SnapshotSeries]],
+        enhanced: Optional[bool],
+    ) -> Fix3D:
+        """Fuse a fixed horizontal-disk subset (the clean locate_3d core)."""
+        centers = [self.registry.get(epc).disk.center for epc in epcs]
+        locator = TagspinLocator3D(
+            z_min=self.config.z_min,
+            z_max=self.config.z_max,
+            prefer_sign=self.config.prefer_sign,
+        )
+        spectra = [
+            self.joint_spectrum(
+                all_series[epc], self.registry.get(epc), enhanced
+            )
+            for epc in epcs
+        ]
+        fix = locator.locate(centers, spectra)
+
+        if self.config.orientation_calibration and any(
+            self.registry.get(epc).orientation_profile is not None
+            for epc in epcs
+        ):
+            refined = []
+            for epc in epcs:
+                record = self.registry.get(epc)
+                corrected = [
+                    self._orientation_corrected(record, s, fix.position)
+                    for s in all_series[epc]
+                ]
+                refined.append(self.joint_spectrum(corrected, record, enhanced))
+            fix = locator.locate(centers, refined)
+        return fix
+
     def locate_3d(self, batch: ReportBatch, antenna_port: int = 1) -> Fix3D:
         """Locate the reader antenna in 3D space.
 
@@ -315,6 +579,9 @@ class TagspinSystem:
         paper's future-work extension), its asymmetric aperture resolves the
         mirror candidates without a height prior.
         """
+        if self.config.disk_gating:
+            fix, _diagnostics = self.locate_3d_diagnosed(batch, antenna_port)
+            return fix
         epcs = self._spinning_epcs_in(batch, antenna_port)
         horizontal = [
             epc for epc in epcs if self.registry.get(epc).disk.is_horizontal

@@ -1,4 +1,19 @@
-"""Exception hierarchy for the Tagspin reproduction."""
+"""Exception hierarchy for the Tagspin reproduction.
+
+The hierarchy is severity-tagged so callers can implement retry policy
+without matching concrete classes:
+
+* :class:`TransientError` — the condition may clear on its own (more data
+  arrives, the disk completes another rotation, interference passes).
+  Retrying against a longer buffer window is the correct reaction; the
+  resilient server (`repro.server.resilience`) does exactly that.
+* :class:`PermanentError` — the condition reflects broken configuration or
+  an impossible request; retrying the same call can never succeed and the
+  error must be surfaced to the operator.
+
+Every concrete error keeps :class:`TagspinError` in its MRO, so existing
+``except TagspinError`` handlers continue to catch everything.
+"""
 
 from __future__ import annotations
 
@@ -6,22 +21,50 @@ from __future__ import annotations
 class TagspinError(Exception):
     """Base class for all library-specific errors."""
 
+    #: Machine-readable severity tag: "transient", "permanent" or "unknown".
+    severity: str = "unknown"
 
-class ConfigurationError(TagspinError):
+
+class TransientError(TagspinError):
+    """A retryable condition: waiting or collecting more data may clear it."""
+
+    severity = "transient"
+
+
+class PermanentError(TagspinError):
+    """A non-retryable condition: retrying the same call cannot succeed."""
+
+    severity = "permanent"
+
+
+class ConfigurationError(PermanentError):
     """A scenario, registry or hardware object was configured inconsistently."""
 
 
-class InsufficientDataError(TagspinError):
+class InsufficientDataError(TransientError):
     """Not enough tag reads were available to run an algorithm."""
 
 
-class UnknownTagError(TagspinError):
+class UnknownTagError(PermanentError):
     """A report referenced an EPC absent from the spinning-tag registry."""
 
 
-class AmbiguityError(TagspinError):
-    """A localization result could not be disambiguated (e.g. parallel bearings)."""
+class AmbiguityError(TransientError):
+    """A localization result could not be disambiguated (e.g. parallel bearings).
+
+    Transient: a capture from a later time window (different disk phases,
+    different geometry after the reader moves) can resolve the ambiguity.
+    """
 
 
-class CalibrationError(TagspinError):
+class CalibrationError(PermanentError):
     """Orientation/diversity calibration could not be fitted or applied."""
+
+
+class DegradedServiceError(TransientError):
+    """The pipeline could not produce a trustworthy fix from the current data.
+
+    Raised by the resilient server when every retry was exhausted but the
+    failure is still data-shaped (quarantined streams, gated-out disks)
+    rather than configuration-shaped.
+    """

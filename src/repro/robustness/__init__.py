@@ -1,0 +1,55 @@
+"""Defense-in-depth robustness layer.
+
+Real report streams are dirty: LLRP connections retransmit (duplicates),
+multi-threaded collectors reorder arrivals, demodulators slip by pi,
+EMI bursts randomize phases and disk motors stall.  This package screens
+the stream before the pipeline sees it and scores each disk's evidence
+before the locator trusts it:
+
+* :mod:`repro.robustness.validation` — per-stream report screening and
+  quarantine accounting (:class:`ReportValidator`);
+* :mod:`repro.robustness.gating` — per-disk spectrum quality scoring and
+  gating policy (:class:`GatingPolicy`, :class:`DiskQuality`);
+* :mod:`repro.robustness.diagnostics` — structured fix diagnostics
+  (:class:`FixDiagnostics`, :class:`DegradationState`).
+"""
+
+from repro.robustness.diagnostics import (
+    DegradationState,
+    DiskExclusion,
+    FixDiagnostics,
+    PipelineDiagnostics,
+)
+from repro.robustness.gating import (
+    GATE_BROAD_PEAK,
+    GATE_HIGH_RESIDUAL,
+    GATE_NO_DATA,
+    GATE_POOR_COVERAGE,
+    GATE_WEAK_PEAK,
+    DiskQuality,
+    GatingPolicy,
+    score_disk,
+)
+from repro.robustness.validation import (
+    QuarantineStats,
+    ReportValidator,
+    ValidationConfig,
+)
+
+__all__ = [
+    "DegradationState",
+    "DiskExclusion",
+    "DiskQuality",
+    "FixDiagnostics",
+    "GATE_BROAD_PEAK",
+    "GATE_HIGH_RESIDUAL",
+    "GATE_NO_DATA",
+    "GATE_POOR_COVERAGE",
+    "GATE_WEAK_PEAK",
+    "GatingPolicy",
+    "PipelineDiagnostics",
+    "QuarantineStats",
+    "ReportValidator",
+    "ValidationConfig",
+    "score_disk",
+]

@@ -1,0 +1,107 @@
+"""Structured diagnostics attached to every fix.
+
+A production fix without provenance is a liability: when the answer is
+wrong, the operator needs to know *which* evidence produced it and what
+the pipeline discarded along the way.  :class:`PipelineDiagnostics`
+records what the gated pipeline did for one localization;
+:class:`FixDiagnostics` wraps it with the serving-layer context
+(quarantine counters, retries, health, degradation verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping, Tuple
+
+from repro.robustness.gating import DiskQuality
+from repro.robustness.validation import QuarantineStats
+
+
+class DegradationState(str, Enum):
+    """Machine-readable service state of one reader-antenna stream."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class DiskExclusion:
+    """One disk removed from a fix, with the gate reasons that removed it."""
+
+    epc: str
+    reasons: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PipelineDiagnostics:
+    """What the gated pipeline did while computing one fix."""
+
+    #: EPCs whose spectra were triangulated.
+    disks_used: Tuple[str, ...]
+    #: Disks excluded by the quality gate.
+    disks_excluded: Tuple[DiskExclusion, ...]
+    #: Per-disk quality scores (including excluded disks).
+    qualities: Tuple[DiskQuality, ...]
+    #: "R" (enhanced) or "Q" (traditional) — which profile produced the fix.
+    profile_used: str
+    #: True when the R -> Q fallback fired because residuals exploded.
+    fallback_applied: bool
+    #: Triangulation residual of the returned fix [m].
+    residual_m: float
+
+    @property
+    def degraded(self) -> bool:
+        """The pipeline deviated from the clean path for this fix."""
+        return (
+            bool(self.disks_excluded)
+            or self.fallback_applied
+            or any(not q.passed for q in self.qualities)
+        )
+
+
+@dataclass(frozen=True)
+class FixDiagnostics:
+    """Full provenance of one fix served by the resilient server."""
+
+    reader_name: str
+    antenna_port: int
+    pipeline: PipelineDiagnostics
+    quarantine: QuarantineStats
+    degradation: DegradationState
+    #: 1 = first attempt succeeded; >1 counts retry rounds.
+    attempts: int
+    confidence: float
+    #: Health-monitor issues per EPC at the last monitor pass (empty
+    #: tuple = healthy; stream may not have been monitored yet).
+    health_issues: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def disks_used(self) -> Tuple[str, ...]:
+        return self.pipeline.disks_used
+
+    @property
+    def disks_excluded(self) -> Tuple[DiskExclusion, ...]:
+        return self.pipeline.disks_excluded
+
+    def summary(self) -> Dict[str, object]:
+        """Flat, log-friendly rendering of the record."""
+        return {
+            "reader": self.reader_name,
+            "antenna": self.antenna_port,
+            "degradation": self.degradation.value,
+            "disks_used": list(self.pipeline.disks_used),
+            "disks_excluded": {
+                e.epc: list(e.reasons) for e in self.pipeline.disks_excluded
+            },
+            "profile": self.pipeline.profile_used,
+            "fallback_applied": self.pipeline.fallback_applied,
+            "residual_m": self.pipeline.residual_m,
+            "attempts": self.attempts,
+            "confidence": self.confidence,
+            "quarantine": self.quarantine.as_dict(),
+            "health_issues": {
+                epc: list(issues) for epc, issues in self.health_issues.items()
+            },
+        }

@@ -1,0 +1,199 @@
+"""Per-disk spectrum quality scoring and gating.
+
+A localization fix is only as good as its worst disk: one stalled motor
+or jammed link yields a garbage bearing that the least-squares
+intersection happily averages into the answer.  Before triangulating,
+each disk's evidence is scored on four axes:
+
+* **peak power** — the spectrum peak of a matching model approaches 1;
+  a collapsed peak means the registry model no longer explains the
+  phases (stale record, heavy noise).
+* **sharpness** — the ratio of peak to mean spectrum power.  A short
+  rotation arc (stalled disk) still *fits* many directions, producing a
+  high but broad peak; sharpness exposes that degeneracy where raw peak
+  power does not.
+* **phase residual** — RMS of the wrapped difference between measured
+  relative phases and the far-field model evaluated at the winning
+  angle.  Explodes under EMI bursts and pi-slip storms even when a peak
+  still forms.
+* **rotation coverage** — fraction of rim-angle bins visited by the
+  reads, computed from the registry's disk kinematics; the direct
+  detector of a stalled motor.
+
+Disks failing any gate are excluded when enough survivors remain
+(``min_disks_kept``); with only two disks the gate degrades to a
+flag — the fix still computes, but its diagnostics mark it suspect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.phase import relative_phase_model, wrap_phase_signed
+from repro.core.spectrum import AngleSpectrum, JointSpectrum, SnapshotSeries
+from repro.server.registry import SpinningTagRecord
+
+#: Gate reason codes (string-matched by operators and tests; the coverage
+#: code deliberately matches the health monitor's issue code).
+GATE_WEAK_PEAK = "weak-spectrum-peak"
+GATE_BROAD_PEAK = "broad-spectrum-peak"
+GATE_HIGH_RESIDUAL = "high-phase-residual"
+GATE_POOR_COVERAGE = "poor-rotation-coverage"
+GATE_NO_DATA = "insufficient-reads"
+
+
+def starved_quality(epc: str) -> DiskQuality:
+    """Quality record for a disk whose series could not even be extracted
+    (too few reads on every channel) — always excluded, never kept."""
+    return DiskQuality(
+        epc=epc,
+        peak_power=0.0,
+        sharpness=0.0,
+        residual_rms_rad=float("inf"),
+        rotation_coverage=0.0,
+        gate_reasons=(GATE_NO_DATA,),
+    )
+
+
+@dataclass(frozen=True)
+class GatingPolicy:
+    """Thresholds deciding whether a disk's spectrum is trustworthy."""
+
+    min_peak_power: float = 0.3
+    min_sharpness: float = 1.3
+    max_residual_rms_rad: float = 2.2
+    min_coverage: float = 0.6
+    coverage_bins: int = 16
+    #: Never gate below this many disks; with exactly this many left the
+    #: gate only flags (localization needs >= 2 bearings regardless).
+    min_disks_kept: int = 2
+    #: Triangulation residual [m] beyond which the enhanced profile R is
+    #: suspected mis-calibrated and the pipeline retries with Q.
+    fallback_residual_m: float = 0.25
+
+
+@dataclass(frozen=True)
+class DiskQuality:
+    """Quality score of one disk's evidence for one fix."""
+
+    epc: str
+    peak_power: float
+    sharpness: float
+    residual_rms_rad: float
+    rotation_coverage: float
+    gate_reasons: Tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_reasons
+
+
+def rotation_coverage(
+    record: SpinningTagRecord,
+    times: np.ndarray,
+    bins: int = 16,
+) -> float:
+    """Fraction of rim-angle bins visited, per the registry's kinematics."""
+    if times.size == 0:
+        return 0.0
+    angles = np.mod(
+        record.disk.phase0 + record.disk.angular_speed * np.asarray(times),
+        2.0 * math.pi,
+    )
+    visited = np.floor(angles / (2.0 * math.pi) * bins)
+    return float(np.unique(visited).size) / bins
+
+
+def phase_residual_rms(
+    series_list: Sequence[SnapshotSeries],
+    azimuth: float,
+    polar: float = 0.0,
+) -> float:
+    """RMS wrapped residual of measured vs modeled relative phases [rad]."""
+    residuals: List[np.ndarray] = []
+    for series in series_list:
+        model = relative_phase_model(
+            series.times,
+            series.wavelength,
+            series.radius,
+            series.angular_speed,
+            azimuth,
+            polar,
+            phase0=series.phase0,
+        )
+        residuals.append(
+            np.asarray(wrap_phase_signed(series.relative_phases() - model))
+        )
+    stacked = np.concatenate(residuals) if residuals else np.array([0.0])
+    return float(np.sqrt(np.mean(np.square(stacked))))
+
+
+def score_disk(
+    record: SpinningTagRecord,
+    series_list: Sequence[SnapshotSeries],
+    spectrum: AngleSpectrum | JointSpectrum,
+    policy: Optional[GatingPolicy] = None,
+) -> DiskQuality:
+    """Score one disk's spectrum against the gating policy."""
+    policy = policy if policy is not None else GatingPolicy()
+    mean_power = float(np.mean(spectrum.power))
+    sharpness = spectrum.peak_power / max(mean_power, 1e-12)
+    polar = (
+        spectrum.peak_polar if isinstance(spectrum, JointSpectrum) else 0.0
+    )
+    residual = phase_residual_rms(
+        series_list, spectrum.peak_azimuth, polar
+    )
+    times = (
+        np.concatenate([s.times for s in series_list])
+        if series_list
+        else np.array([])
+    )
+    coverage = rotation_coverage(record, times, policy.coverage_bins)
+
+    reasons: List[str] = []
+    if spectrum.peak_power < policy.min_peak_power:
+        reasons.append(GATE_WEAK_PEAK)
+    if sharpness < policy.min_sharpness:
+        reasons.append(GATE_BROAD_PEAK)
+    if residual > policy.max_residual_rms_rad:
+        reasons.append(GATE_HIGH_RESIDUAL)
+    if coverage < policy.min_coverage:
+        reasons.append(GATE_POOR_COVERAGE)
+    return DiskQuality(
+        epc=record.epc,
+        peak_power=float(spectrum.peak_power),
+        sharpness=float(sharpness),
+        residual_rms_rad=residual,
+        rotation_coverage=coverage,
+        gate_reasons=tuple(reasons),
+    )
+
+
+def select_disks(
+    qualities: Sequence[DiskQuality],
+    policy: Optional[GatingPolicy] = None,
+) -> Tuple[List[str], List[DiskQuality]]:
+    """Partition disks into (kept EPCs, excluded qualities).
+
+    Failing disks are dropped worst-first (most gate reasons, then lowest
+    sharpness) but never below ``policy.min_disks_kept`` total.
+    """
+    policy = policy if policy is not None else GatingPolicy()
+    failing = sorted(
+        (q for q in qualities if not q.passed),
+        key=lambda q: (-len(q.gate_reasons), q.sharpness),
+    )
+    keep = {q.epc for q in qualities}
+    excluded: List[DiskQuality] = []
+    for quality in failing:
+        if len(keep) - 1 < policy.min_disks_kept:
+            break
+        keep.discard(quality.epc)
+        excluded.append(quality)
+    kept = [q.epc for q in qualities if q.epc in keep]
+    return kept, excluded

@@ -28,6 +28,8 @@ ISSUE_NOT_SEEN = "not-seen"
 ISSUE_LOW_READ_RATE = "low-read-rate"
 ISSUE_POOR_COVERAGE = "poor-rotation-coverage"
 ISSUE_WEAK_PEAK = "weak-spectrum-peak"
+ISSUE_NO_SPECTRUM = "no-spectrum"
+ISSUE_DEGENERATE_TIMESPAN = "degenerate-timespan"
 
 
 @dataclass(frozen=True)
@@ -97,7 +99,11 @@ class DeploymentMonitor:
 
         times = np.array(sorted(r.reader_time_s for r in reports))
         span = float(times[-1] - times[0])
-        read_rate = len(reports) / span if span > 0 else float(len(reports))
+        # A zero span (single read, or a clock stuck on one timestamp)
+        # supports no rate estimate: clamp to 0 and flag, rather than
+        # reporting a bare count as if it were a rate in Hz.
+        degenerate_span = span <= 0
+        read_rate = 0.0 if degenerate_span else len(reports) / span
 
         angles = np.mod(
             record.disk.phase0 + record.disk.angular_speed * times,
@@ -114,11 +120,19 @@ class DeploymentMonitor:
             pass
 
         issues: List[str] = []
+        if degenerate_span:
+            issues.append(ISSUE_DEGENERATE_TIMESPAN)
         if read_rate < self.min_read_rate_hz:
             issues.append(ISSUE_LOW_READ_RATE)
         if coverage < self.min_coverage:
             issues.append(ISSUE_POOR_COVERAGE)
-        if peak_power is not None and peak_power < self.min_peak_power:
+        if peak_power is None:
+            # Reads exist but no channel could form a spectrum: the link
+            # is NOT healthy — it just can't be scored.  Reporting this
+            # as issue-free would hide exactly the failures (sparse,
+            # fragmented series) that precede a localization outage.
+            issues.append(ISSUE_NO_SPECTRUM)
+        elif peak_power < self.min_peak_power:
             issues.append(ISSUE_WEAK_PEAK)
         return HealthReport(
             epc=epc,

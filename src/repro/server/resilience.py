@@ -1,0 +1,289 @@
+"""A supervised, fault-tolerant localization server.
+
+:class:`ResilientLocalizationServer` wraps the plain
+:class:`~repro.server.service.LocalizationServer` with the full
+robustness stack:
+
+* every ingested report passes a per-stream
+  :class:`~repro.robustness.validation.ReportValidator` (duplicates,
+  corrupt fields and pi slips never reach a buffer);
+* every fix runs through the *gated* pipeline
+  (:meth:`~repro.core.pipeline.TagspinSystem.locate_2d_diagnosed`),
+  which excludes untrustworthy disks and falls back from R to Q;
+* transient failures (:class:`~repro.errors.TransientError`) are
+  retried with exponential backoff while the buffer window grows —
+  either passively (a live reader keeps streaming) or actively via a
+  ``data_source`` callback that pulls more reports;
+* the :class:`~repro.server.health.DeploymentMonitor` runs on a cadence
+  and its findings ride along on each fix;
+* every fix carries a :class:`~repro.robustness.diagnostics.FixDiagnostics`
+  record, and each (reader, antenna) stream exposes a machine-readable
+  :class:`~repro.robustness.diagnostics.DegradationState`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.locator import Fix2D, Fix3D
+from repro.core.pipeline import PipelineConfig
+from repro.errors import PermanentError, TransientError
+from repro.hardware.llrp import TagReportData
+from repro.robustness.diagnostics import (
+    DegradationState,
+    FixDiagnostics,
+    PipelineDiagnostics,
+)
+from repro.robustness.validation import (
+    QuarantineStats,
+    ReportValidator,
+    ValidationConfig,
+)
+from repro.server.health import DeploymentMonitor
+from repro.server.registry import TagRegistry
+from repro.server.service import LocalizationServer, StreamKey
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff policy for transient localization failures."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+#: Pulls additional reports for (reader_name, antenna_port, attempt);
+#: whatever it returns is ingested before the retry, growing the window.
+DataSource = Callable[[str, int, int], Iterable[TagReportData]]
+
+
+class ResilientLocalizationServer(LocalizationServer):
+    """Localization server with validation, gating, retry and supervision.
+
+    Parameters
+    ----------
+    validation : screen thresholds for the per-stream report validators.
+    retry : backoff policy for :class:`~repro.errors.TransientError`.
+    data_source : optional callback delivering more reports between
+        retries (e.g. re-polling a live reader).  Without it, retries
+        rely on reports ingested concurrently by other threads.
+    monitor_every : run the deployment monitor every N locate calls per
+        stream (1 = every call).
+    sleep : injection point for the backoff wait (tests pass a stub).
+    degraded_quarantine_ratio : fraction of rejected ingested reports
+        above which a stream is considered degraded even if a fix works.
+    """
+
+    def __init__(
+        self,
+        registry: TagRegistry,
+        config: Optional[PipelineConfig] = None,
+        max_buffer: int = 100_000,
+        validation: Optional[ValidationConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        data_source: Optional[DataSource] = None,
+        monitor: Optional[DeploymentMonitor] = None,
+        monitor_every: int = 5,
+        sleep: Callable[[float], None] = time.sleep,
+        degraded_quarantine_ratio: float = 0.05,
+    ) -> None:
+        base = config if config is not None else PipelineConfig()
+        super().__init__(registry, replace(base, disk_gating=True), max_buffer)
+        if monitor_every < 1:
+            raise ValueError("monitor_every must be positive")
+        self.validation = (
+            validation if validation is not None else ValidationConfig()
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.data_source = data_source
+        self.monitor = (
+            monitor
+            if monitor is not None
+            else DeploymentMonitor(registry, self.system.config)
+        )
+        self.monitor_every = monitor_every
+        self.degraded_quarantine_ratio = degraded_quarantine_ratio
+        self._sleep = sleep
+        self._validators: Dict[StreamKey, ReportValidator] = {}
+        self._states: Dict[StreamKey, DegradationState] = {}
+        self._last_diagnostics: Dict[StreamKey, FixDiagnostics] = {}
+        self._health: Dict[StreamKey, Dict[str, Tuple[str, ...]]] = {}
+        self._locate_counts: Dict[StreamKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion with validation
+    # ------------------------------------------------------------------
+    def ingest(
+        self, reader_name: str, reports: Iterable[TagReportData]
+    ) -> int:
+        """Validate and buffer reports; returns the number accepted."""
+        by_port: Dict[int, list] = {}
+        for report in reports:
+            by_port.setdefault(report.antenna_port, []).append(report)
+        accepted = 0
+        for port, port_reports in by_port.items():
+            validator = self._validators.setdefault(
+                (reader_name, port), ReportValidator(self.validation)
+            )
+            accepted += super().ingest(
+                reader_name, validator.process(port_reports)
+            )
+        return accepted
+
+    def quarantine_stats(
+        self, reader_name: str, antenna_port: int
+    ) -> QuarantineStats:
+        """Validator counters of one stream (zeros if nothing ingested)."""
+        validator = self._validators.get((reader_name, antenna_port))
+        return validator.stats if validator else QuarantineStats()
+
+    # ------------------------------------------------------------------
+    # Supervised queries
+    # ------------------------------------------------------------------
+    def locate_antenna_2d(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Fix2D:
+        fix, _diagnostics = self.locate_antenna_2d_diagnosed(
+            reader_name, antenna_port
+        )
+        return fix
+
+    def locate_antenna_3d(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Fix3D:
+        fix, _diagnostics = self.locate_antenna_3d_diagnosed(
+            reader_name, antenna_port
+        )
+        return fix
+
+    def locate_antenna_2d_diagnosed(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Tuple[Fix2D, FixDiagnostics]:
+        """2D fix plus its provenance record."""
+        return self._supervised_locate(
+            reader_name,
+            antenna_port,
+            lambda batch: self.system.locate_2d_diagnosed(batch, antenna_port),
+        )
+
+    def locate_antenna_3d_diagnosed(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Tuple[Fix3D, FixDiagnostics]:
+        """3D fix plus its provenance record."""
+        return self._supervised_locate(
+            reader_name,
+            antenna_port,
+            lambda batch: self.system.locate_3d_diagnosed(batch, antenna_port),
+        )
+
+    def _supervised_locate(self, reader_name, antenna_port, locate):
+        key: StreamKey = (reader_name, antenna_port)
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                batch = self._batch_for(reader_name, antenna_port)
+                fix, pipeline_diag = locate(batch)
+                break
+            except PermanentError:
+                self._states[key] = DegradationState.FAILED
+                raise
+            except TransientError:
+                if attempts >= self.retry.max_attempts:
+                    self._states[key] = DegradationState.FAILED
+                    raise
+                self._sleep(self.retry.delay(attempts))
+                self._refill(reader_name, antenna_port, attempts)
+
+        self._maybe_monitor(key)
+        diagnostics = self._build_diagnostics(
+            key, fix, pipeline_diag, attempts
+        )
+        self._states[key] = diagnostics.degradation
+        self._last_diagnostics[key] = diagnostics
+        return fix, diagnostics
+
+    def _refill(self, reader_name: str, antenna_port: int, attempt: int) -> None:
+        """Grow the buffer window before a retry, if a source is wired."""
+        if self.data_source is None:
+            return
+        more = self.data_source(reader_name, antenna_port, attempt)
+        if more is not None:
+            self.ingest(reader_name, more)
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _maybe_monitor(self, key: StreamKey) -> None:
+        count = self._locate_counts.get(key, 0)
+        self._locate_counts[key] = count + 1
+        if count % self.monitor_every != 0:
+            return
+        try:
+            batch = self._batch_for(*key)
+        except TransientError:
+            return
+        reports = self.monitor.check_all(batch, key[1])
+        self._health[key] = {
+            epc: report.issues
+            for epc, report in reports.items()
+            if report.issues
+        }
+
+    def _build_diagnostics(
+        self,
+        key: StreamKey,
+        fix,
+        pipeline_diag: PipelineDiagnostics,
+        attempts: int,
+    ) -> FixDiagnostics:
+        quarantine = self.quarantine_stats(*key).snapshot()
+        health_issues = dict(self._health.get(key, {}))
+        degraded = (
+            pipeline_diag.degraded
+            or attempts > 1
+            or quarantine.quarantine_ratio > self.degraded_quarantine_ratio
+            or bool(health_issues)
+        )
+        return FixDiagnostics(
+            reader_name=key[0],
+            antenna_port=key[1],
+            pipeline=pipeline_diag,
+            quarantine=quarantine,
+            degradation=(
+                DegradationState.DEGRADED
+                if degraded
+                else DegradationState.HEALTHY
+            ),
+            attempts=attempts,
+            confidence=fix.confidence,
+            health_issues=health_issues,
+        )
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+    def degradation_state(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> DegradationState:
+        """Last known service state of one stream (HEALTHY before use)."""
+        return self._states.get(
+            (reader_name, antenna_port), DegradationState.HEALTHY
+        )
+
+    def degradation_states(self) -> Dict[StreamKey, DegradationState]:
+        """Service state of every stream that has been queried."""
+        return dict(self._states)
+
+    def last_diagnostics(
+        self, reader_name: str, antenna_port: int = 1
+    ) -> Optional[FixDiagnostics]:
+        """Diagnostics of the most recent fix on one stream, if any."""
+        return self._last_diagnostics.get((reader_name, antenna_port))

@@ -112,12 +112,102 @@ def bias_timestamps(
                 epc=report.epc,
                 antenna_port=report.antenna_port,
                 channel_index=report.channel_index,
-                reader_timestamp_us=int(report.reader_timestamp_us * scale),
+                # round, not int: truncation would swallow sub-ppm drifts
+                # entirely for small timestamps and bias all others low.
+                reader_timestamp_us=round(report.reader_timestamp_us * scale),
                 host_timestamp_us=report.host_timestamp_us,
                 phase_rad=report.phase_rad,
                 rssi_dbm=report.rssi_dbm,
             )
         )
+    return ReportBatch(transformed)
+
+
+def duplicate_reports(
+    batch: ReportBatch,
+    fraction: float,
+    rng: np.random.Generator,
+) -> ReportBatch:
+    """Deliver ``fraction`` of the reports twice (LLRP/TCP retransmission).
+
+    Each duplicate arrives immediately after its original, as a
+    retransmitting transport would deliver it.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    delivered: List[TagReportData] = []
+    for report in batch.reports:
+        delivered.append(report)
+        if rng.random() < fraction:
+            delivered.append(report)
+    return ReportBatch(delivered)
+
+
+def shuffle_reports(
+    batch: ReportBatch, rng: np.random.Generator
+) -> ReportBatch:
+    """Permute the delivery order (multi-threaded collector reordering).
+
+    Timestamps stay attached to their reads — only the *arrival order*
+    is scrambled, which is what a congested transport actually does.
+    """
+    order = rng.permutation(len(batch.reports))
+    return ReportBatch([batch.reports[i] for i in order])
+
+
+def pi_slips(
+    batch: ReportBatch,
+    probability: float,
+    rng: np.random.Generator,
+    epc: Optional[str] = None,
+) -> ReportBatch:
+    """Offset random reads' phases by +pi (demodulator half-cycle slips)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError("probability must be in [0, 1]")
+    transformed: List[TagReportData] = []
+    for report in batch.reports:
+        if (epc is None or report.epc == epc) and rng.random() < probability:
+            report = TagReportData(
+                epc=report.epc,
+                antenna_port=report.antenna_port,
+                channel_index=report.channel_index,
+                reader_timestamp_us=report.reader_timestamp_us,
+                host_timestamp_us=report.host_timestamp_us,
+                phase_rad=float((report.phase_rad + math.pi) % (2.0 * math.pi)),
+                rssi_dbm=report.rssi_dbm,
+            )
+        transformed.append(report)
+    return ReportBatch(transformed)
+
+
+def corrupt_quantization(
+    batch: ReportBatch,
+    fraction: float,
+    rng: np.random.Generator,
+) -> ReportBatch:
+    """Corrupt the 12-bit phase word of ``fraction`` of the reports.
+
+    Impinj readers encode phase as a 12-bit angle (1/4096 of a circle) in
+    a 16-bit field; a framing error that leaks the upper bits yields a
+    code in [4096, 8192) — a decoded phase in [2*pi, 4*pi), provably out
+    of range.  The report validator must reject these.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    transformed: List[TagReportData] = []
+    for report in batch.reports:
+        if rng.random() < fraction:
+            bad_code = int(rng.integers(4096, 8192))
+            report = TagReportData(
+                epc=report.epc,
+                antenna_port=report.antenna_port,
+                channel_index=report.channel_index,
+                reader_timestamp_us=report.reader_timestamp_us,
+                host_timestamp_us=report.host_timestamp_us,
+                phase_rad=bad_code / 4096.0 * 2.0 * math.pi,
+                rssi_dbm=report.rssi_dbm,
+            )
+        transformed.append(report)
     return ReportBatch(transformed)
 
 

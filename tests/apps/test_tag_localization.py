@@ -21,7 +21,6 @@ from repro.errors import (
     InsufficientDataError,
 )
 from repro.hardware.llrp import ReportBatch, TagReportData
-from repro.sim.scenario import paper_default_scenario
 
 ANTENNAS = {
     1: Point3(-1.5, 1.0, 0.0),

@@ -1,0 +1,230 @@
+"""Tests for repro.robustness.validation (ingest screening)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import NUM_CHANNELS
+from repro.core.phase import wrap_phase_signed
+from repro.hardware.llrp import TagReportData
+from repro.robustness.validation import (
+    QuarantineStats,
+    ReportValidator,
+    ValidationConfig,
+)
+
+
+def make_report(
+    time_s: float = 0.0,
+    phase: float = 1.0,
+    epc: str = "E2-TEST-1",
+    channel: int = 8,
+    rssi: float = -60.0,
+    antenna: int = 1,
+) -> TagReportData:
+    return TagReportData(
+        epc=epc,
+        antenna_port=antenna,
+        channel_index=channel,
+        reader_timestamp_us=round(time_s * 1e6),
+        host_timestamp_us=round(time_s * 1e6) + 1500,
+        phase_rad=phase,
+        rssi_dbm=rssi,
+    )
+
+
+def smooth_stream(n: int = 100, dt: float = 0.05) -> list:
+    """A clean slowly varying phase stream (rotating-tag-like)."""
+    return [
+        make_report(time_s=i * dt, phase=float(np.mod(1.0 + 0.3 * np.sin(0.5 * i * dt), 2 * np.pi)))
+        for i in range(n)
+    ]
+
+
+class TestRangeScreens:
+    def test_clean_stream_untouched(self):
+        validator = ReportValidator()
+        reports = smooth_stream()
+        accepted = validator.process(reports)
+        assert len(accepted) == len(reports)
+        assert validator.stats.quarantined == 0
+        assert validator.stats.accepted == len(reports)
+
+    def test_phase_out_of_range_rejected(self):
+        validator = ReportValidator()
+        bad = [
+            make_report(time_s=0.0, phase=2 * math.pi + 0.5),
+            make_report(time_s=0.1, phase=-0.3),
+            make_report(time_s=0.2, phase=float("nan")),
+        ]
+        assert validator.process(bad) == []
+        assert validator.stats.phase_out_of_range == 3
+
+    def test_rssi_out_of_range_rejected(self):
+        validator = ReportValidator()
+        bad = [
+            make_report(time_s=0.0, rssi=40.0),
+            make_report(time_s=0.1, rssi=-200.0),
+            make_report(time_s=0.2, rssi=float("inf")),
+        ]
+        assert validator.process(bad) == []
+        assert validator.stats.rssi_out_of_range == 3
+
+    def test_bad_channel_rejected(self):
+        validator = ReportValidator()
+        assert validator.process([make_report(channel=NUM_CHANNELS)]) == []
+        assert validator.process([make_report(channel=-1)]) == []
+        assert validator.stats.bad_channel == 2
+
+    def test_negative_timestamp_rejected(self):
+        validator = ReportValidator()
+        assert validator.process([make_report(time_s=-1.0)]) == []
+        assert validator.stats.bad_timestamp == 1
+
+
+class TestDeduplication:
+    def test_exact_duplicates_suppressed(self):
+        validator = ReportValidator()
+        report = make_report(time_s=1.0)
+        accepted = validator.process([report, report, report])
+        assert len(accepted) == 1
+        assert validator.stats.duplicates == 2
+
+    def test_duplicates_across_chunks(self):
+        validator = ReportValidator()
+        report = make_report(time_s=1.0)
+        validator.process([report])
+        assert validator.process([report]) == []
+        assert validator.stats.duplicates == 1
+
+    def test_different_tags_not_duplicates(self):
+        validator = ReportValidator()
+        a = make_report(time_s=1.0, epc="E2-A")
+        b = make_report(time_s=1.0, epc="E2-B")
+        assert len(validator.process([a, b])) == 2
+        assert validator.stats.duplicates == 0
+
+
+class TestOrdering:
+    def test_out_of_order_counted_but_kept(self):
+        validator = ReportValidator()
+        reports = [
+            make_report(time_s=0.0),
+            make_report(time_s=0.2),
+            make_report(time_s=0.1),
+        ]
+        accepted = validator.process(reports)
+        assert len(accepted) == 3
+        assert validator.stats.reordered == 1
+        times = [r.reader_timestamp_us for r in accepted]
+        assert times == sorted(times)
+
+    def test_monotonicity_repaired_in_output(self, rng):
+        validator = ReportValidator()
+        reports = smooth_stream()
+        shuffled = [reports[i] for i in rng.permutation(len(reports))]
+        accepted = validator.process(shuffled)
+        times = [r.reader_timestamp_us for r in accepted]
+        assert times == sorted(times)
+        assert len(accepted) == len(reports)
+
+
+class TestPiSlipRepair:
+    def test_isolated_slip_repaired(self):
+        validator = ReportValidator()
+        reports = smooth_stream(50)
+        clean_phases = [r.phase_rad for r in reports]
+        slipped = list(reports)
+        victim = slipped[20]
+        slipped[20] = make_report(
+            time_s=victim.reader_time_s,
+            phase=float((victim.phase_rad + math.pi) % (2 * math.pi)),
+        )
+        accepted = validator.process(slipped)
+        assert validator.stats.pi_slips_repaired == 1
+        repaired = [r.phase_rad for r in accepted]
+        np.testing.assert_allclose(repaired, clean_phases, atol=1e-9)
+
+    def test_slip_run_repaired(self):
+        validator = ReportValidator()
+        reports = smooth_stream(60)
+        clean_phases = [r.phase_rad for r in reports]
+        slipped = []
+        for i, r in enumerate(reports):
+            if 25 <= i < 35:
+                r = make_report(
+                    time_s=r.reader_time_s,
+                    phase=float((r.phase_rad + math.pi) % (2 * math.pi)),
+                )
+            slipped.append(r)
+        accepted = validator.process(slipped)
+        assert validator.stats.pi_slips_repaired == 10
+        repaired = [r.phase_rad for r in accepted]
+        np.testing.assert_allclose(repaired, clean_phases, atol=1e-9)
+
+    def test_large_gap_not_classified(self):
+        """Across a long read gap a ~pi change can be real rotation: the
+        detector must re-anchor instead of 'repairing'."""
+        validator = ReportValidator()
+        a = make_report(time_s=0.0, phase=0.5)
+        b = make_report(time_s=10.0, phase=0.5 + math.pi)
+        accepted = validator.process([a, b])
+        assert [r.phase_rad for r in accepted] == [a.phase_rad, b.phase_rad]
+        assert validator.stats.pi_slips_repaired == 0
+
+    def test_detector_can_be_disabled(self):
+        validator = ReportValidator(ValidationConfig(repair_pi_slips=False))
+        reports = smooth_stream(30)
+        slipped = [
+            make_report(
+                time_s=r.reader_time_s,
+                phase=float((r.phase_rad + math.pi) % (2 * math.pi)),
+            )
+            if i == 10
+            else r
+            for i, r in enumerate(reports)
+        ]
+        accepted = validator.process(slipped)
+        assert accepted[10].phase_rad == slipped[10].phase_rad
+        assert validator.stats.pi_slips_repaired == 0
+
+
+class TestStats:
+    def test_quarantine_ratio(self):
+        stats = QuarantineStats(received=100, duplicates=3, bad_channel=2)
+        assert stats.quarantined == 5
+        assert stats.quarantine_ratio == pytest.approx(0.05)
+
+    def test_snapshot_is_independent(self):
+        validator = ReportValidator()
+        validator.process([make_report()])
+        snap = validator.stats.snapshot()
+        validator.process([make_report(time_s=1.0)])
+        assert snap.received == 1
+        assert validator.stats.received == 2
+
+    def test_as_dict_roundtrip(self):
+        stats = QuarantineStats(received=10, accepted=8, duplicates=2)
+        assert QuarantineStats(**stats.as_dict()) == stats
+
+
+def test_wrapped_phases_survive_screening():
+    """Phases exactly at 0 and just below 2*pi are legal reader output."""
+    validator = ReportValidator()
+    reports = [
+        make_report(time_s=0.0, phase=0.0),
+        make_report(time_s=10.0, phase=2 * math.pi - 1e-9),
+    ]
+    assert len(validator.process(reports)) == 2
+
+
+def test_slip_band_excludes_legitimate_change():
+    """The slip band must sit above the largest per-read phase change the
+    paper's disks produce (~0.4 rad at 40 Hz reads)."""
+    cfg = ValidationConfig()
+    max_legit_step = 0.95  # rad, at the max gap the detector classifies
+    assert math.pi - cfg.pi_slip_tolerance_rad > max_legit_step
+    assert float(np.abs(wrap_phase_signed(math.pi))) <= math.pi

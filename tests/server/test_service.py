@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.geometry import Point3
 from repro.errors import InsufficientDataError
-from repro.hardware.llrp import ROSpec
 from repro.server.service import LocalizationServer
 
 
