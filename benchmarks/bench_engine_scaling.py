@@ -1,0 +1,116 @@
+"""Engine-scaling benchmark: reference vs batched vs parallel engines.
+
+Unlike the paper-figure benchmarks (which run under pytest), this is a
+standalone script so CI's perf-smoke job and developers can run it
+directly:
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py --quick  # CI gate
+
+``--quick`` runs a trimmed medium scenario (the acceptance shape:
+4 disks x 2 antennas x 8 channels) and **fails** (exit 1) if the batched
+engine is not faster than the reference engine — the regression gate for
+the batched spectrum path.  ``--json`` writes the machine-readable
+timings (uploaded as a CI artifact).
+
+Every run verifies engine equivalence (<= 1e-9 against the reference)
+before timing; see ``repro/perf/bench.py`` for the workload definition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.perf.bench import (
+    SCALES,
+    format_results,
+    results_to_json,
+    run_engine_scaling,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the spectrum engines over synthetic deployments"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="trimmed medium-scenario run that fails if the batched "
+        "engine is slower than the reference engine",
+    )
+    parser.add_argument(
+        "--scales",
+        nargs="+",
+        choices=sorted(SCALES),
+        default=None,
+        help="scenario scales to run (default: all; --quick: medium)",
+    )
+    parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=["reference", "batched", "parallel"],
+        help="engines to time (default: reference batched parallel)",
+    )
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="fixes per scenario (default 3; --quick 2)")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write machine-readable timings to this path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        scales = args.scales or ["medium"]
+        rounds = args.rounds or 2
+        overrides = {"snapshots": 60, "azimuth_resolution_deg": 1.0}
+    else:
+        scales = args.scales or ["small", "medium", "large"]
+        rounds = args.rounds or 3
+        overrides = {}
+
+    results = run_engine_scaling(
+        scales=scales,
+        engines=args.engines,
+        rounds=rounds,
+        seed=args.seed,
+        **overrides,
+    )
+    table = format_results(results)
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_scaling.txt").write_text(table + "\n")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(results_to_json(results))
+
+    if args.quick:
+        for result in results:
+            reference = result.timing("reference")
+            batched = result.timing("batched")
+            if reference is None or batched is None:
+                continue
+            if batched.total_s >= reference.total_s:
+                print(
+                    f"FAIL: batched engine ({batched.total_s:.3f}s) is not "
+                    f"faster than reference ({reference.total_s:.3f}s) on "
+                    f"the {result.spec.name} scenario",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"OK: batched engine is {batched.speedup:.2f}x the "
+                f"reference on the {result.spec.name} scenario"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

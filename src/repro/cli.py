@@ -18,6 +18,9 @@ Commands
 ``diagnose``
     Simulate a collection with an optional injected fault, run it through
     the resilient server and print the fix with its full diagnostics.
+``bench-engine``
+    Time the spectrum engines (reference vs batched vs parallel) over a
+    synthetic multi-disk deployment and print the scaling table.
 """
 
 from __future__ import annotations
@@ -225,6 +228,34 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf.bench import (
+        format_results,
+        results_to_json,
+        run_engine_scaling,
+    )
+
+    overrides = {}
+    if args.snapshots is not None:
+        overrides["snapshots"] = args.snapshots
+    results = run_engine_scaling(
+        scales=args.scales,
+        engines=args.engines,
+        rounds=args.rounds,
+        seed=args.seed,
+        **overrides,
+    )
+    print(format_results(results))
+    if args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(results_to_json(results))
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tagspin",
@@ -287,6 +318,33 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--y", type=float, default=1.9, help="reader y [m]")
     _add_common(pd)
     pd.set_defaults(func=_cmd_diagnose)
+
+    pb = subparsers.add_parser(
+        "bench-engine",
+        help="time the spectrum engines over a synthetic deployment",
+    )
+    pb.add_argument(
+        "--scales",
+        nargs="+",
+        choices=["small", "medium", "large"],
+        default=["medium"],
+        help="scenario scales to run (default: medium)",
+    )
+    pb.add_argument(
+        "--engines",
+        nargs="+",
+        default=["reference", "batched", "parallel"],
+        help="engines to time (reference, batched, parallel, "
+        "parallel-thread, parallel-process)",
+    )
+    pb.add_argument("--rounds", type=int, default=3,
+                    help="localization fixes per scenario")
+    pb.add_argument("--snapshots", type=int, default=None,
+                    help="override snapshots per series")
+    pb.add_argument("--json", default=None,
+                    help="write machine-readable timings to this path")
+    _add_common(pb)
+    pb.set_defaults(func=_cmd_bench_engine)
 
     return parser
 

@@ -39,15 +39,12 @@ from repro.core.spectrum import (
     JointSpectrum,
     SnapshotSeries,
     combine_spectra,
-    compute_q_profile,
-    compute_q_profile_3d,
-    compute_r_profile,
-    compute_r_profile_3d,
     default_azimuth_grid,
     default_polar_grid,
 )
 from repro.errors import InsufficientDataError
 from repro.hardware.llrp import ReportBatch
+from repro.perf.engine import EngineSpec, create_engine
 from repro.robustness.diagnostics import DiskExclusion, PipelineDiagnostics
 from repro.robustness.gating import (
     DiskQuality,
@@ -103,13 +100,26 @@ class DiskSpectra:
 
 
 class TagspinSystem:
-    """The localization server's processing engine."""
+    """The localization server's processing engine.
+
+    ``engine`` selects the spectrum-evaluation strategy (see
+    :mod:`repro.perf`): ``None``/``"reference"`` keeps the seed per-call
+    path, ``"batched"`` adds steering/spectrum caching with vectorized
+    whole-grid evaluation, ``"parallel"`` fans series across a worker
+    pool; an engine instance is used as-is.  All engines are equivalent
+    within 1e-9 (the batched engine bit-for-bit), so the choice only
+    affects speed.
+    """
 
     def __init__(
-        self, registry: TagRegistry, config: Optional[PipelineConfig] = None
+        self,
+        registry: TagRegistry,
+        config: Optional[PipelineConfig] = None,
+        engine: EngineSpec = None,
     ) -> None:
         self.registry = registry
         self.config = config if config is not None else PipelineConfig()
+        self.engine = create_engine(engine)
         self._frequencies = channel_frequencies()
 
     # ------------------------------------------------------------------
@@ -205,14 +215,8 @@ class TagspinSystem:
             self.config.use_enhanced_profile if enhanced is None else enhanced
         )
         grid = default_azimuth_grid(self.config.azimuth_resolution)
-        spectra = []
-        for series in series_list:
-            if use_enhanced:
-                spectra.append(
-                    compute_r_profile(series, grid, sigma=self.config.sigma)
-                )
-            else:
-                spectra.append(compute_q_profile(series, grid))
+        sigma = self.config.sigma if use_enhanced else None
+        spectra = self.engine.azimuth_spectra(series_list, grid, sigma=sigma)
         return combine_spectra(spectra)
 
     def joint_spectrum(
@@ -234,36 +238,28 @@ class TagspinSystem:
         )
         azimuths = default_azimuth_grid(self.config.joint_azimuth_resolution)
         polars = default_polar_grid(self.config.polar_resolution)
+        sigma = self.config.sigma if use_enhanced else None
         oriented_basis = None
         if record is not None and not record.disk.is_horizontal:
             oriented_basis = (record.disk.basis_u, record.disk.basis_v)
-        spectra = []
-        for series in series_list:
-            if oriented_basis is not None:
-                from repro.core.oriented import compute_oriented_profile
+        if oriented_basis is not None:
+            from repro.core.oriented import compute_oriented_profile
 
-                spectra.append(
-                    compute_oriented_profile(
-                        series,
-                        oriented_basis[0],
-                        oriented_basis[1],
-                        azimuths,
-                        polars,
-                        sigma=(
-                            self.config.sigma
-                            if use_enhanced
-                            else None
-                        ),
-                    )
+            spectra = [
+                compute_oriented_profile(
+                    series,
+                    oriented_basis[0],
+                    oriented_basis[1],
+                    azimuths,
+                    polars,
+                    sigma=sigma,
                 )
-            elif use_enhanced:
-                spectra.append(
-                    compute_r_profile_3d(
-                        series, azimuths, polars, sigma=self.config.sigma
-                    )
-                )
-            else:
-                spectra.append(compute_q_profile_3d(series, azimuths, polars))
+                for series in series_list
+            ]
+        else:
+            spectra = self.engine.joint_spectra(
+                series_list, azimuths, polars, sigma=sigma
+            )
         mean_power = np.mean([s.power for s in spectra], axis=0)
         weights = np.array([max(s.peak_power, 1e-12) for s in spectra])
         weights = weights / np.sum(weights)
@@ -665,3 +661,8 @@ class TagspinSystem:
             )
             result.append(DiskSpectra(record=record, azimuth=spectrum))
         return result
+
+
+#: Public alias: the class is the end-to-end localization pipeline; the
+#: historical name ``TagspinSystem`` is kept for existing callers.
+LocalizationPipeline = TagspinSystem

@@ -63,14 +63,20 @@ class SnapshotSeries:
         phases = np.asarray(self.phases, dtype=float)
         if times.ndim != 1 or times.shape != phases.shape:
             raise ValueError("times and phases must be matching 1D arrays")
+        if not np.all(np.isfinite(times)):
+            raise ValueError("times must be finite (no NaN/Inf)")
+        if not np.all(np.isfinite(phases)):
+            raise ValueError("phases must be finite (no NaN/Inf)")
         if times.size >= 2 and np.any(np.diff(times) < 0):
             raise ValueError("times must be non-decreasing")
-        if self.wavelength <= 0:
-            raise ValueError("wavelength must be positive")
-        if self.radius <= 0:
-            raise ValueError("radius must be positive")
-        if self.angular_speed == 0:
-            raise ValueError("angular_speed must be non-zero")
+        if not np.isfinite(self.wavelength) or self.wavelength <= 0:
+            raise ValueError("wavelength must be positive and finite")
+        if not np.isfinite(self.radius) or self.radius <= 0:
+            raise ValueError("radius must be positive and finite")
+        if not np.isfinite(self.angular_speed) or self.angular_speed == 0:
+            raise ValueError("angular_speed must be non-zero and finite")
+        if not np.isfinite(self.phase0):
+            raise ValueError("phase0 must be finite")
         object.__setattr__(self, "times", times)
         object.__setattr__(self, "phases", phases)
 
@@ -152,6 +158,24 @@ def _gaussian_weights(residuals: np.ndarray, sigma: float) -> np.ndarray:
     return np.exp(-0.5 * np.square(residuals / sigma))
 
 
+def power_from_residuals(
+    residuals: np.ndarray, sigma: Optional[float]
+) -> np.ndarray:
+    """Power along the snapshot axis of a wrapped-residual array.
+
+    ``sigma=None`` computes the traditional coherent mean ``Q`` (Eqn 7);
+    a positive ``sigma`` computes the enhanced likelihood-weighted profile
+    ``R`` (Definition 4.1).  This is the single arithmetic kernel shared by
+    the reference profiles and :mod:`repro.perf`'s batched engine, so both
+    paths are bit-for-bit identical by construction.
+    """
+    if sigma is None:
+        return np.abs(np.mean(np.exp(1j * residuals), axis=-1))
+    residuals = _centered(residuals)
+    weights = _gaussian_weights(residuals, sigma)
+    return np.abs(np.mean(weights * np.exp(1j * residuals), axis=-1))
+
+
 def _centered(residuals: np.ndarray) -> np.ndarray:
     """Remove the common (circular-mean) offset from each residual row.
 
@@ -230,7 +254,7 @@ def compute_q_profile(
         azimuth_grid, dtype=float
     )
     residuals = _residual_matrix(series, grid, polar)
-    power = np.abs(np.mean(np.exp(1j * residuals), axis=-1))
+    power = power_from_residuals(residuals, None)
     peak_azimuth, peak_power = _refine_peak_circular(grid, power)
     return AngleSpectrum(grid, power, peak_azimuth, peak_power)
 
@@ -248,9 +272,8 @@ def compute_r_profile(
     grid = default_azimuth_grid() if azimuth_grid is None else np.asarray(
         azimuth_grid, dtype=float
     )
-    residuals = _centered(_residual_matrix(series, grid, polar))
-    weights = _gaussian_weights(residuals, sigma)
-    power = np.abs(np.mean(weights * np.exp(1j * residuals), axis=-1))
+    residuals = _residual_matrix(series, grid, polar)
+    power = power_from_residuals(residuals, sigma)
     peak_azimuth, peak_power = _refine_peak_circular(grid, power)
     return AngleSpectrum(grid, power, peak_azimuth, peak_power)
 
@@ -278,13 +301,7 @@ def _joint_power(
         residuals = np.asarray(
             wrap_phase_signed(series.relative_phases() - theoretical), dtype=float
         )
-        if sigma is None:
-            block = np.abs(np.mean(np.exp(1j * residuals), axis=-1))
-        else:
-            residuals = _centered(residuals)
-            weights = _gaussian_weights(residuals, sigma)
-            block = np.abs(np.mean(weights * np.exp(1j * residuals), axis=-1))
-        power[start : start + chunk.size] = block
+        power[start : start + chunk.size] = power_from_residuals(residuals, sigma)
     return power
 
 
@@ -297,13 +314,17 @@ def refine_joint_peak(
     sigma: Optional[float],
     window: int = 3,
     oversample: int = 10,
+    power_fn=None,
 ) -> tuple[float, float, float]:
     """Locally re-search around a coarse peak on a much finer grid.
 
     Returns ``(azimuth, polar, power)``.  The fine grid spans ``window``
     coarse steps on each side at ``oversample`` times the coarse density,
     followed by parabolic interpolation — giving sub-grid peaks without
-    paying for a globally fine grid.
+    paying for a globally fine grid.  ``power_fn(series, azimuths, polars,
+    sigma)`` overrides the grid evaluator (the batched engine injects its
+    cached whole-grid kernel); it must be arithmetically identical to
+    :func:`_joint_power`.
     """
     fine_azimuths = coarse_azimuth + np.linspace(
         -window * azimuth_step, window * azimuth_step,
@@ -318,7 +339,8 @@ def refine_joint_peak(
         -np.pi / 2.0,
         np.pi / 2.0,
     )
-    power = _joint_power(series, fine_azimuths, fine_polars, sigma)
+    evaluate = _joint_power if power_fn is None else power_fn
+    power = evaluate(series, fine_azimuths, fine_polars, sigma)
     row, col = np.unravel_index(int(np.argmax(power)), power.shape)
     azimuth, _ = _refine_peak_clamped(fine_azimuths, power[row])
     polar, peak_power = _refine_peak_clamped(fine_polars, power[:, col])
@@ -331,8 +353,10 @@ def _joint_profile(
     polar_grid: np.ndarray,
     sigma: Optional[float],
     refine: bool = True,
+    power_fn=None,
 ) -> JointSpectrum:
-    power = _joint_power(series, azimuth_grid, polar_grid, sigma)
+    evaluate = _joint_power if power_fn is None else power_fn
+    power = evaluate(series, azimuth_grid, polar_grid, sigma)
     flat_index = int(np.argmax(power))
     row, col = np.unravel_index(flat_index, power.shape)
     if refine and azimuth_grid.size > 1 and polar_grid.size > 1:
@@ -343,6 +367,7 @@ def _joint_profile(
             float(azimuth_grid[1] - azimuth_grid[0]),
             float(polar_grid[1] - polar_grid[0]),
             sigma,
+            power_fn=power_fn,
         )
     else:
         peak_azimuth, _ = _refine_peak_circular(azimuth_grid, power[row])

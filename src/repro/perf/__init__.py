@@ -1,0 +1,37 @@
+"""Performance engines for spectrum evaluation (see ``DESIGN.md``).
+
+Public surface:
+
+* :class:`~repro.perf.engine.SpectrumEngine` — the strategy interface
+  the pipeline calls through;
+* :class:`~repro.perf.engine.ReferenceEngine` — the seed per-call path;
+* :class:`~repro.perf.batched.BatchedEngine` — cached steering matrices
+  + whole-grid vectorized evaluation under a memory budget;
+* :class:`~repro.perf.parallel.ParallelEngine` — worker-pool fan-out
+  with a serial fallback;
+* :func:`~repro.perf.engine.create_engine` — resolve ``engine=`` specs
+  (``"reference"`` / ``"batched"`` / ``"parallel"`` / instance).
+"""
+
+from repro.perf.batched import BatchedEngine
+from repro.perf.cache import CacheStats, LRUCache
+from repro.perf.engine import (
+    EngineSpec,
+    ReferenceEngine,
+    SpectrumEngine,
+    create_engine,
+)
+from repro.perf.parallel import ParallelEngine
+from repro.perf.steering import SteeringCache
+
+__all__ = [
+    "BatchedEngine",
+    "CacheStats",
+    "EngineSpec",
+    "LRUCache",
+    "ParallelEngine",
+    "ReferenceEngine",
+    "SpectrumEngine",
+    "SteeringCache",
+    "create_engine",
+]

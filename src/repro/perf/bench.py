@@ -1,0 +1,312 @@
+"""Engine-scaling benchmark harness (shared by CLI and ``benchmarks/``).
+
+Builds a synthetic multi-disk deployment — ``disks x antennas x
+channels`` independent snapshot series — and times each spectrum engine
+over the *fix workload* the real pipeline executes per localization on
+an unchanged buffer:
+
+1. disk-quality scoring pass (enhanced profile R per series),
+2. triangulation pass (identical spectra — the diagnosed pipeline
+   recomputes them),
+3. orientation-corrected refinement pass (same geometry, new phases),
+4. R-to-Q fallback pass over the corrected series.
+
+Polling a live deployment repeats this fix ``rounds`` times between
+buffer updates, which is where the batched engine's caches pay off; the
+reference engine recomputes everything every time.  Every run first
+verifies the candidate engine agrees with the reference within ``1e-9``
+on a sample series, so a speedup can never come from wrong spectra.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import channel_frequencies, wavelength_for_frequency
+from repro.core.phase import theoretical_phase
+from repro.core.spectrum import SnapshotSeries, default_azimuth_grid
+from repro.perf.engine import ReferenceEngine, SpectrumEngine, create_engine
+
+#: Gaussian weight width used by the benchmark's enhanced profile.
+BENCH_SIGMA = 0.14
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Size of one synthetic deployment."""
+
+    name: str
+    disks: int
+    antennas: int
+    channels: int
+    snapshots: int = 120
+    azimuth_resolution_deg: float = 0.5
+
+    @property
+    def series_count(self) -> int:
+        return self.disks * self.antennas * self.channels
+
+
+#: Named scales; ``medium`` is the acceptance scenario
+#: (4 disks x 2 antennas x 8 channels = 64 series).
+SCALES: Dict[str, ScenarioSpec] = {
+    "small": ScenarioSpec("small", disks=2, antennas=1, channels=2),
+    "medium": ScenarioSpec("medium", disks=4, antennas=2, channels=8),
+    "large": ScenarioSpec("large", disks=6, antennas=2, channels=16),
+}
+
+
+@dataclass
+class EngineTiming:
+    """Measured wall time of one engine over the scenario workload."""
+
+    engine: str
+    total_s: float
+    per_fix_s: float
+    speedup: float
+    max_error: float
+    cache_stats: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class ScenarioResult:
+    """All engine timings of one scenario."""
+
+    spec: ScenarioSpec
+    rounds: int
+    timings: List[EngineTiming]
+
+    def timing(self, engine: str) -> Optional[EngineTiming]:
+        for timing in self.timings:
+            if timing.engine == engine:
+                return timing
+        return None
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": dataclasses.asdict(self.spec),
+            "rounds": self.rounds,
+            "timings": [t.as_dict() for t in self.timings],
+        }
+
+
+def build_series(spec: ScenarioSpec, seed: int = 2016) -> List[SnapshotSeries]:
+    """Synthetic snapshot series of every (disk, antenna, channel) link.
+
+    Sample times are non-uniform (frequency hopping interleaves channel
+    dwell windows), phases follow the far-field model with Gaussian
+    measurement noise, and each disk spins at a slightly different speed
+    with its own registry starting angle — so no two series share
+    geometry and every steering matrix is genuinely distinct.
+    """
+    rng = np.random.default_rng(seed)
+    frequencies = channel_frequencies()
+    series: List[SnapshotSeries] = []
+    for disk in range(spec.disks):
+        radius = 0.10
+        angular_speed = 1.0 + 0.07 * disk
+        phase0 = 0.4 * disk
+        for antenna in range(spec.antennas):
+            azimuth = rng.uniform(0.0, 2.0 * np.pi)
+            center_distance = rng.uniform(1.5, 3.0)
+            for channel in range(spec.channels):
+                wavelength = wavelength_for_frequency(
+                    frequencies[channel % frequencies.size]
+                )
+                span = 2.0 * (2.0 * np.pi / angular_speed)
+                times = np.sort(rng.uniform(0.0, span, spec.snapshots))
+                phases = theoretical_phase(
+                    times,
+                    wavelength,
+                    center_distance,
+                    radius,
+                    angular_speed,
+                    azimuth,
+                    diversity=rng.uniform(0.0, 2.0 * np.pi),
+                    phase0=phase0,
+                )
+                phases = np.mod(
+                    phases + 0.1 * rng.standard_normal(spec.snapshots),
+                    2.0 * np.pi,
+                )
+                series.append(
+                    SnapshotSeries(
+                        times=times,
+                        phases=phases,
+                        wavelength=wavelength,
+                        radius=radius,
+                        angular_speed=angular_speed,
+                        phase0=phase0,
+                    )
+                )
+    return series
+
+
+def _orientation_corrected(series: SnapshotSeries) -> SnapshotSeries:
+    """The refinement pass's input: same geometry, adjusted phases."""
+    correction = 0.05 * np.cos(
+        series.angular_speed * series.times + 0.7
+    )
+    return dataclasses.replace(
+        series, phases=np.mod(series.phases + correction, 2.0 * np.pi)
+    )
+
+
+def run_fix(
+    engine: SpectrumEngine,
+    series_list: Sequence[SnapshotSeries],
+    corrected_list: Sequence[SnapshotSeries],
+    grid: np.ndarray,
+    sigma: float = BENCH_SIGMA,
+) -> None:
+    """One localization fix's worth of spectrum evaluations."""
+    engine.azimuth_spectra(series_list, grid, sigma=sigma)  # scoring
+    engine.azimuth_spectra(series_list, grid, sigma=sigma)  # triangulation
+    engine.azimuth_spectra(corrected_list, grid, sigma=sigma)  # refinement
+    engine.azimuth_spectra(corrected_list, grid, sigma=None)  # R->Q fallback
+
+
+def _max_equivalence_error(
+    engine: SpectrumEngine,
+    reference: SpectrumEngine,
+    series_list: Sequence[SnapshotSeries],
+    grid: np.ndarray,
+    sigma: float,
+) -> float:
+    """Largest |power difference| vs the reference over sample series."""
+    worst = 0.0
+    for series in (series_list[0], series_list[-1]):
+        for s in (sigma, None):
+            expected = reference.azimuth_spectrum(series, grid, s)
+            actual = engine.azimuth_spectrum(series, grid, s)
+            worst = max(
+                worst, float(np.max(np.abs(expected.power - actual.power)))
+            )
+            worst = max(
+                worst, abs(expected.peak_azimuth - actual.peak_azimuth)
+            )
+    return worst
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    engines: Sequence[str] = ("reference", "batched", "parallel"),
+    rounds: int = 3,
+    seed: int = 2016,
+    sigma: float = BENCH_SIGMA,
+) -> ScenarioResult:
+    """Time every engine over ``rounds`` fixes of one scenario."""
+    if rounds < 1:
+        raise ValueError("rounds must be positive")
+    series_list = build_series(spec, seed)
+    corrected_list = [_orientation_corrected(s) for s in series_list]
+    grid = default_azimuth_grid(np.deg2rad(spec.azimuth_resolution_deg))
+    verifier = ReferenceEngine()
+
+    timings: List[EngineTiming] = []
+    reference_total: Optional[float] = None
+    for name in engines:
+        # Verify on a throwaway instance so the timed engine starts with
+        # cold caches — a speedup must never come from wrong spectra OR
+        # from pre-warmed state.
+        check_engine = create_engine(name)
+        try:
+            max_error = (
+                0.0
+                if isinstance(check_engine, ReferenceEngine)
+                else _max_equivalence_error(
+                    check_engine, verifier, series_list, grid, sigma
+                )
+            )
+        finally:
+            check_engine.close()
+        if max_error > 1e-9:
+            raise AssertionError(
+                f"engine {name!r} deviates from the reference by "
+                f"{max_error:.3e} (> 1e-9); refusing to benchmark "
+                f"wrong spectra"
+            )
+        engine = create_engine(name)
+        try:
+            start = time.perf_counter()
+            for _ in range(rounds):
+                run_fix(engine, series_list, corrected_list, grid, sigma)
+            total = time.perf_counter() - start
+            timings.append(
+                EngineTiming(
+                    engine=name,
+                    total_s=total,
+                    per_fix_s=total / rounds,
+                    speedup=(
+                        1.0
+                        if reference_total is None
+                        else reference_total / total
+                    ),
+                    max_error=max_error,
+                    cache_stats=engine.cache_stats(),
+                )
+            )
+            if name == "reference":
+                reference_total = total
+        finally:
+            engine.close()
+    return ScenarioResult(spec=spec, rounds=rounds, timings=timings)
+
+
+def run_engine_scaling(
+    scales: Sequence[str] = ("small", "medium", "large"),
+    engines: Sequence[str] = ("reference", "batched", "parallel"),
+    rounds: int = 3,
+    seed: int = 2016,
+    snapshots: Optional[int] = None,
+    azimuth_resolution_deg: Optional[float] = None,
+) -> List[ScenarioResult]:
+    """Run the scaling sweep; ``snapshots``/resolution override all scales."""
+    results = []
+    for scale in scales:
+        spec = SCALES[scale]
+        overrides = {}
+        if snapshots is not None:
+            overrides["snapshots"] = snapshots
+        if azimuth_resolution_deg is not None:
+            overrides["azimuth_resolution_deg"] = azimuth_resolution_deg
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+        results.append(run_scenario(spec, engines, rounds, seed))
+    return results
+
+
+def format_results(results: Sequence[ScenarioResult]) -> str:
+    """Human-readable scaling table."""
+    lines = []
+    for result in results:
+        spec = result.spec
+        lines.append(
+            f"scenario {spec.name}: {spec.disks} disks x {spec.antennas} "
+            f"antennas x {spec.channels} channels = {spec.series_count} "
+            f"series, {spec.snapshots} snapshots, {result.rounds} fixes"
+        )
+        lines.append(
+            f"  {'engine':<18} {'total [s]':>10} {'per-fix [s]':>12} "
+            f"{'speedup':>8} {'max |err|':>10}"
+        )
+        for t in result.timings:
+            lines.append(
+                f"  {t.engine:<18} {t.total_s:>10.3f} {t.per_fix_s:>12.3f} "
+                f"{t.speedup:>7.2f}x {t.max_error:>10.2e}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def results_to_json(results: Sequence[ScenarioResult]) -> str:
+    return json.dumps([r.as_dict() for r in results], indent=2)

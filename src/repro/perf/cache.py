@@ -1,0 +1,139 @@
+"""Cost-bounded LRU caching with quantized float keys.
+
+The batched spectrum engine caches steering matrices and whole spectra.
+Both are keyed on floating-point inputs (grids, timestamps, wavelengths)
+that may be *recomputed* between fixes rather than object-identical, so
+keys quantize every float to a fixed number of decimals: two inputs that
+agree to ``1e-12`` hash to the same bucket and share one cached entry.
+The quantum sits three orders of magnitude below the engine's ``1e-9``
+equivalence budget, so a collision can never move a spectrum outside the
+guaranteed tolerance.
+
+Steering matrices can be large (a joint grid is ``n_polar x n_azimuth x
+n_snapshots`` floats), so the LRU is bounded by total *cost* (element
+count) rather than entry count: inserting a big matrix evicts as many
+least-recently-used entries as needed to stay under budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+import numpy as np
+
+#: Decimals kept when quantizing float inputs into cache keys.
+KEY_DECIMALS = 12
+
+
+def quantize_scalar(value: float) -> float:
+    """Quantize one float for use inside a cache key."""
+    return round(float(value), KEY_DECIMALS)
+
+
+def quantize_array(values: np.ndarray) -> bytes:
+    """Quantize an array into a hashable byte string."""
+    rounded = np.round(np.asarray(values, dtype=float), KEY_DECIMALS)
+    # -0.0 and 0.0 hash to different byte patterns; normalize.
+    rounded = rounded + 0.0
+    return rounded.tobytes()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cost: int = 0
+    entries: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "cost": self.cost,
+            "entries": self.entries,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+class LRUCache:
+    """Thread-safe LRU cache bounded by total entry cost.
+
+    Parameters
+    ----------
+    max_cost : total cost budget (e.g. float elements across all cached
+        arrays).  An entry whose own cost exceeds the budget is simply not
+        cached — the caller still gets its computed value.
+    """
+
+    def __init__(self, max_cost: int) -> None:
+        if max_cost < 0:
+            raise ValueError("max_cost must be non-negative")
+        self.max_cost = max_cost
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._cost = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value or ``None``, updating recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: Any, cost: int = 1) -> None:
+        """Insert ``value``, evicting LRU entries to respect the budget."""
+        if cost > self.max_cost:
+            return
+        with self._lock:
+            if key in self._entries:
+                _, old_cost = self._entries.pop(key)
+                self._cost -= old_cost
+            self._entries[key] = (value, cost)
+            self._cost += cost
+            while self._cost > self.max_cost:
+                _, (_, evicted_cost) = self._entries.popitem(last=False)
+                self._cost -= evicted_cost
+                self._evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._cost = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                cost=self._cost,
+                entries=len(self._entries),
+            )

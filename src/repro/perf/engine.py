@@ -1,0 +1,171 @@
+"""Spectrum-engine strategy objects.
+
+A :class:`SpectrumEngine` turns snapshot series into angle spectra.  The
+localization pipeline (:class:`repro.core.pipeline.TagspinSystem`) calls
+through this interface, so the evaluation strategy — straight per-call
+computation, cached/batched evaluation, or multi-worker fan-out — is
+swappable without touching the pipeline:
+
+* :class:`ReferenceEngine` delegates to the original
+  :mod:`repro.core.spectrum` functions and is the correctness baseline.
+* :class:`~repro.perf.batched.BatchedEngine` evaluates whole candidate
+  grids in single vectorized passes under a memory budget and caches
+  steering matrices, residuals and finished spectra.
+* :class:`~repro.perf.parallel.ParallelEngine` fans independent series
+  out across a worker pool.
+
+``sigma=None`` selects the traditional profile ``Q``; a positive
+``sigma`` selects the enhanced profile ``R`` with that weight width.
+Every engine must be equivalent to the reference within ``1e-9``
+(``tests/perf`` enforces this; the batched engine is bit-identical by
+construction because it shares the reference's arithmetic kernels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.spectrum import (
+    AngleSpectrum,
+    JointSpectrum,
+    SnapshotSeries,
+    compute_q_profile,
+    compute_q_profile_3d,
+    compute_r_profile,
+    compute_r_profile_3d,
+)
+
+
+class SpectrumEngine:
+    """Base strategy: per-series spectrum evaluation.
+
+    Subclasses must implement the two single-series methods; the batch
+    methods default to a serial loop and exist so fan-out engines can
+    schedule the whole workload at once.
+    """
+
+    name = "abstract"
+
+    def azimuth_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> AngleSpectrum:
+        raise NotImplementedError
+
+    def joint_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> JointSpectrum:
+        raise NotImplementedError
+
+    def azimuth_spectra(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> List[AngleSpectrum]:
+        return [
+            self.azimuth_spectrum(series, azimuth_grid, sigma)
+            for series in series_list
+        ]
+
+    def joint_spectra(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> List[JointSpectrum]:
+        return [
+            self.joint_spectrum(series, azimuth_grid, polar_grid, sigma)
+            for series in series_list
+        ]
+
+    def cache_stats(self) -> dict:
+        """Per-cache counters; empty for cacheless engines."""
+        return {}
+
+    def close(self) -> None:
+        """Release pooled resources, if any."""
+
+    def __enter__(self) -> "SpectrumEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ReferenceEngine(SpectrumEngine):
+    """The unmodified per-call evaluation path of ``repro.core.spectrum``.
+
+    Every call rebuilds the steering geometry from scratch and walks the
+    joint grid in small fixed chunks — exactly the seed behavior.  This is
+    the baseline the batched engine is benchmarked and verified against.
+    """
+
+    name = "reference"
+
+    def azimuth_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> AngleSpectrum:
+        if sigma is None:
+            return compute_q_profile(series, azimuth_grid)
+        return compute_r_profile(series, azimuth_grid, sigma=sigma)
+
+    def joint_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> JointSpectrum:
+        if sigma is None:
+            return compute_q_profile_3d(series, azimuth_grid, polar_grid)
+        return compute_r_profile_3d(
+            series, azimuth_grid, polar_grid, sigma=sigma
+        )
+
+
+#: Engines accepted anywhere an ``engine=`` parameter appears: an
+#: instance, a registered name, or ``None`` for the default.
+EngineSpec = Union[SpectrumEngine, str, None]
+
+
+def create_engine(spec: EngineSpec = None) -> SpectrumEngine:
+    """Resolve an ``engine=`` argument into a :class:`SpectrumEngine`.
+
+    ``None`` and ``"reference"`` give the reference engine, ``"batched"``
+    the cached vectorized engine, ``"parallel"`` (or
+    ``"parallel-thread"`` / ``"parallel-process"``) a worker-pool fan-out
+    over a batched engine.  Instances pass through unchanged.
+    """
+    if spec is None:
+        return ReferenceEngine()
+    if isinstance(spec, SpectrumEngine):
+        return spec
+    from repro.perf.batched import BatchedEngine
+    from repro.perf.parallel import ParallelEngine
+
+    normalized = spec.strip().lower()
+    if normalized == "reference":
+        return ReferenceEngine()
+    if normalized == "batched":
+        return BatchedEngine()
+    if normalized in ("parallel", "parallel-thread"):
+        return ParallelEngine(mode="thread")
+    if normalized == "parallel-process":
+        return ParallelEngine(mode="process")
+    raise ValueError(
+        f"unknown spectrum engine {spec!r}; expected 'reference', "
+        f"'batched', 'parallel', 'parallel-thread' or 'parallel-process'"
+    )

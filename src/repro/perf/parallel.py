@@ -1,0 +1,218 @@
+"""Parallel fan-out of independent spectrum evaluations.
+
+Series of different tags/antennas/channels are independent, so a
+multi-disk fix can evaluate them concurrently.  :class:`ParallelEngine`
+wraps any base engine and schedules the batch methods across a
+``concurrent.futures`` pool:
+
+* ``mode="thread"`` shares the base engine (and its caches) across a
+  thread pool — NumPy releases the GIL inside the heavy kernels, so
+  threads overlap on multi-core hosts while caches stay shared;
+* ``mode="process"`` ships series to worker processes, each holding its
+  own :class:`~repro.perf.batched.BatchedEngine` — higher throughput for
+  very large grids at the cost of pickling and cold per-process caches;
+* ``mode="serial"`` (or an effective worker count of one, or any pool
+  failure) degrades gracefully to the base engine's serial loop, so the
+  engine is safe on single-core and sandboxed hosts.
+
+Results are returned in input order and are the base engine's own
+spectra, so equivalence guarantees carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import warnings
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.spectrum import AngleSpectrum, JointSpectrum, SnapshotSeries
+from repro.perf.engine import SpectrumEngine
+
+_PROCESS_ENGINE = None
+
+
+def _process_engine() -> SpectrumEngine:
+    """Per-worker-process batched engine, built on first use."""
+    global _PROCESS_ENGINE
+    if _PROCESS_ENGINE is None:
+        from repro.perf.batched import BatchedEngine
+
+        _PROCESS_ENGINE = BatchedEngine()
+    return _PROCESS_ENGINE
+
+
+def _process_azimuth(series, grid, sigma):
+    return _process_engine().azimuth_spectrum(series, grid, sigma)
+
+
+def _process_joint(series, azimuths, polars, sigma):
+    return _process_engine().joint_spectrum(series, azimuths, polars, sigma)
+
+
+class ParallelEngine(SpectrumEngine):
+    """Fan independent series across a worker pool, serially if it can't.
+
+    Parameters
+    ----------
+    base : engine performing the actual evaluation (default: a fresh
+        :class:`~repro.perf.batched.BatchedEngine`).
+    mode : ``"thread"``, ``"process"`` or ``"serial"``.
+    max_workers : pool size; defaults to the host CPU count.  A value
+        of one (e.g. on a single-core host) short-circuits to serial.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        base: Optional[SpectrumEngine] = None,
+        mode: str = "thread",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if mode not in ("thread", "process", "serial"):
+            raise ValueError(
+                f"mode must be 'thread', 'process' or 'serial', got {mode!r}"
+            )
+        if base is None:
+            from repro.perf.batched import BatchedEngine
+
+            base = BatchedEngine()
+        self.base = base
+        self.mode = mode
+        self.max_workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.name = f"parallel-{mode}"
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._serial = mode == "serial" or self.max_workers <= 1
+
+    # ------------------------------------------------------------------
+    # Pool management
+    # ------------------------------------------------------------------
+    def _pool(self) -> Optional[concurrent.futures.Executor]:
+        """The executor, or ``None`` once fallen back to serial."""
+        if self._serial:
+            return None
+        if self._executor is None:
+            try:
+                if self.mode == "process":
+                    self._executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.max_workers
+                    )
+                else:
+                    self._executor = concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="spectrum-engine",
+                    )
+            except (OSError, RuntimeError, PermissionError) as error:
+                warnings.warn(
+                    f"ParallelEngine: cannot start {self.mode} pool "
+                    f"({error}); falling back to serial evaluation",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._serial = True
+                return None
+        return self._executor
+
+    def _run_batch(self, task, jobs: Sequence[tuple]) -> Optional[list]:
+        """Map ``task`` over ``jobs`` on the pool; ``None`` means serial."""
+        if len(jobs) < 2:
+            return None
+        pool = self._pool()
+        if pool is None:
+            return None
+        try:
+            futures = [pool.submit(task, *job) for job in jobs]
+            return [future.result() for future in futures]
+        except concurrent.futures.BrokenExecutor as error:
+            warnings.warn(
+                f"ParallelEngine: {self.mode} pool broke ({error}); "
+                f"falling back to serial evaluation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._serial = True
+            return None
+
+    # ------------------------------------------------------------------
+    # SpectrumEngine interface
+    # ------------------------------------------------------------------
+    def azimuth_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> AngleSpectrum:
+        return self.base.azimuth_spectrum(series, azimuth_grid, sigma)
+
+    def joint_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> JointSpectrum:
+        return self.base.joint_spectrum(
+            series, azimuth_grid, polar_grid, sigma
+        )
+
+    def azimuth_spectra(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> List[AngleSpectrum]:
+        if self.mode == "process":
+            task = _process_azimuth
+            jobs = [(s, azimuth_grid, sigma) for s in series_list]
+        else:
+            task = self.base.azimuth_spectrum
+            jobs = [(s, azimuth_grid, sigma) for s in series_list]
+        results = self._run_batch(task, jobs)
+        if results is not None:
+            return results
+        return self.base.azimuth_spectra(series_list, azimuth_grid, sigma)
+
+    def joint_spectra(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> List[JointSpectrum]:
+        if self.mode == "process":
+            task = _process_joint
+        else:
+            task = self.base.joint_spectrum
+        jobs = [(s, azimuth_grid, polar_grid, sigma) for s in series_list]
+        results = self._run_batch(task, jobs)
+        if results is not None:
+            return results
+        return self.base.joint_spectra(
+            series_list, azimuth_grid, polar_grid, sigma
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_serial(self) -> bool:
+        """True once evaluation degrades to the base engine's loop."""
+        return self._serial
+
+    def cache_stats(self) -> dict:
+        # Process workers hold their own caches; only the local base's
+        # counters are observable here.
+        return self.base.cache_stats()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.base.close()

@@ -31,6 +31,7 @@ from repro.core.locator import Fix2D, Fix3D
 from repro.core.pipeline import PipelineConfig
 from repro.errors import PermanentError, TransientError
 from repro.hardware.llrp import TagReportData
+from repro.perf.engine import EngineSpec
 from repro.robustness.diagnostics import (
     DegradationState,
     FixDiagnostics,
@@ -79,6 +80,10 @@ class ResilientLocalizationServer(LocalizationServer):
     sleep : injection point for the backoff wait (tests pass a stub).
     degraded_quarantine_ratio : fraction of rejected ingested reports
         above which a stream is considered degraded even if a fix works.
+    engine : spectrum-evaluation strategy passed through to the pipeline
+        (see :mod:`repro.perf`); the gated pipeline's repeated passes
+        (scoring, triangulation, R-to-Q fallback) make the ``"batched"``
+        engine's caches especially effective here.
     """
 
     def __init__(
@@ -93,9 +98,12 @@ class ResilientLocalizationServer(LocalizationServer):
         monitor_every: int = 5,
         sleep: Callable[[float], None] = time.sleep,
         degraded_quarantine_ratio: float = 0.05,
+        engine: EngineSpec = None,
     ) -> None:
         base = config if config is not None else PipelineConfig()
-        super().__init__(registry, replace(base, disk_gating=True), max_buffer)
+        super().__init__(
+            registry, replace(base, disk_gating=True), max_buffer, engine=engine
+        )
         if monitor_every < 1:
             raise ValueError("monitor_every must be positive")
         self.validation = (

@@ -18,6 +18,7 @@ from repro.core.locator import Fix2D, Fix3D
 from repro.core.pipeline import PipelineConfig, TagspinSystem
 from repro.errors import InsufficientDataError
 from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.perf.engine import EngineSpec
 from repro.server.registry import TagRegistry
 
 #: A stream is identified by (reader name, antenna port).
@@ -46,11 +47,12 @@ class LocalizationServer:
         registry: TagRegistry,
         config: Optional[PipelineConfig] = None,
         max_buffer: int = 100_000,
+        engine: EngineSpec = None,
     ) -> None:
         if max_buffer < 1:
             raise ValueError("max_buffer must be positive")
         self.registry = registry
-        self.system = TagspinSystem(registry, config)
+        self.system = TagspinSystem(registry, config, engine=engine)
         self.max_buffer = max_buffer
         self._streams: Dict[StreamKey, StreamBuffer] = {}
 

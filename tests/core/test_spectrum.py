@@ -10,6 +10,8 @@ from hypothesis import strategies as st
 from repro.core.spectrum import (
     AngleSpectrum,
     SnapshotSeries,
+    _refine_peak_circular,
+    _refine_peak_clamped,
     combine_spectra,
     compute_q_profile,
     compute_q_profile_3d,
@@ -50,6 +52,42 @@ class TestSnapshotSeries:
     def test_len(self, make_series):
         assert len(make_series(azimuth=0.1, n=57)) == 57
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_times(self, bad):
+        """Regression: a NaN/Inf timestamp used to flow straight into the
+        steering model and poison the whole spectrum."""
+        with pytest.raises(ValueError, match="finite"):
+            SnapshotSeries(
+                np.array([0.0, 1.0, bad]), np.zeros(3), 0.325, 0.1, 1.0
+            )
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_phases(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            SnapshotSeries(
+                np.array([0.0, 1.0, 2.0]),
+                np.array([0.1, bad, 0.3]),
+                0.325, 0.1, 1.0,
+            )
+
+    @pytest.mark.parametrize(
+        "field", ["wavelength", "radius", "angular_speed", "phase0"]
+    )
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_rejects_non_finite_scalars(self, field, bad):
+        """NaN slipped past the old sign checks (NaN <= 0 is False)."""
+        kwargs = {
+            "times": np.array([0.0, 1.0, 2.0]),
+            "phases": np.zeros(3),
+            "wavelength": 0.325,
+            "radius": 0.1,
+            "angular_speed": 1.0,
+            "phase0": 0.0,
+        }
+        kwargs[field] = bad
+        with pytest.raises(ValueError):
+            SnapshotSeries(**kwargs)
+
 
 class TestGrids:
     def test_azimuth_grid_covers_circle(self):
@@ -62,6 +100,86 @@ class TestGrids:
         grid = default_polar_grid(np.deg2rad(2.0))
         assert grid[0] == pytest.approx(-np.pi / 2)
         assert grid[-1] == pytest.approx(np.pi / 2)
+
+
+class TestPeakRefinement:
+    """Edge cases of the sub-grid parabolic peak interpolators."""
+
+    GRID = np.linspace(0.0, 2.0 * np.pi, 8, endpoint=False)
+
+    def test_circular_wraps_peak_at_first_point(self):
+        """A maximum at index 0 interpolates across the wrap seam."""
+        power = np.array([1.0, 0.6, 0.2, 0.1, 0.1, 0.1, 0.2, 0.8])
+        azimuth, peak = _refine_peak_circular(self.GRID, power)
+        # The wrapped left neighbor (0.8) beats the right one (0.6), so
+        # the refined peak sits just below 2*pi rather than just above 0.
+        assert 1.5 * np.pi < azimuth < 2.0 * np.pi
+        assert peak >= 1.0
+
+    def test_circular_wraps_peak_at_last_point(self):
+        power = np.array([0.8, 0.2, 0.1, 0.1, 0.1, 0.2, 0.6, 1.0])
+        azimuth, peak = _refine_peak_circular(self.GRID, power)
+        # Pulled toward the larger wrapped neighbor at index 0, but the
+        # result stays normalized inside [0, 2*pi).
+        assert self.GRID[-1] < azimuth < 2.0 * np.pi
+        assert peak >= 1.0
+
+    def test_circular_flat_spectrum_returns_grid_point(self):
+        """Zero curvature must not divide by zero; grid point wins."""
+        power = np.full(8, 0.5)
+        azimuth, peak = _refine_peak_circular(self.GRID, power)
+        assert azimuth == self.GRID[0]
+        assert peak == 0.5
+
+    def test_circular_two_equal_maxima_picks_first(self):
+        power = np.array([0.1, 0.9, 0.1, 0.1, 0.1, 0.9, 0.1, 0.1])
+        azimuth, _peak = _refine_peak_circular(self.GRID, power)
+        # np.argmax ties break to the lowest index; symmetric equal
+        # neighbors leave the refined azimuth on the grid point.
+        assert azimuth == pytest.approx(self.GRID[1])
+
+    def test_circular_result_stays_in_range(self):
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            azimuth, _ = _refine_peak_circular(self.GRID, rng.random(8))
+            assert 0.0 <= azimuth < 2.0 * np.pi
+
+    def test_clamped_boundary_peak_not_extrapolated(self):
+        """A maximum at either end returns the endpoint untouched."""
+        grid = np.linspace(-1.0, 1.0, 9)
+        rising = np.linspace(0.0, 1.0, 9)
+        azimuth, peak = _refine_peak_clamped(grid, rising)
+        assert azimuth == grid[-1]
+        assert peak == 1.0
+        falling = rising[::-1].copy()
+        azimuth, peak = _refine_peak_clamped(grid, falling)
+        assert azimuth == grid[0]
+        assert peak == 1.0
+
+    def test_clamped_flat_spectrum_returns_grid_point(self):
+        grid = np.linspace(-1.0, 1.0, 9)
+        azimuth, peak = _refine_peak_clamped(grid, np.full(9, 0.3))
+        assert azimuth == grid[0]
+        assert peak == 0.3
+
+    def test_clamped_two_equal_maxima_picks_first(self):
+        grid = np.linspace(-1.0, 1.0, 9)
+        power = np.array([0.1, 0.2, 0.9, 0.2, 0.1, 0.2, 0.9, 0.2, 0.1])
+        azimuth, _peak = _refine_peak_clamped(grid, power)
+        assert azimuth == pytest.approx(grid[2])
+
+    def test_clamped_tiny_grid_degenerates_gracefully(self):
+        grid = np.array([0.0, 0.5])
+        azimuth, peak = _refine_peak_clamped(grid, np.array([0.2, 0.7]))
+        assert azimuth == 0.5
+        assert peak == 0.7
+
+    def test_interior_peak_moves_toward_larger_neighbor(self):
+        grid = np.linspace(-1.0, 1.0, 9)
+        power = np.array([0.1, 0.2, 0.5, 1.0, 0.9, 0.3, 0.2, 0.1, 0.1])
+        azimuth, peak = _refine_peak_clamped(grid, power)
+        assert grid[3] < azimuth < grid[4]
+        assert peak >= 1.0
 
 
 class TestQProfile:

@@ -1,0 +1,148 @@
+"""Generate the golden-trace fixtures used by ``tests/perf``.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+Produces ``golden_scenarios.npz`` next to this script: three recorded
+3-disk x 2-channel collection scenarios —
+
+* ``clean``     — far-field model + Gaussian phase noise;
+* ``pi_slip``   — clean plus pi slips on a random 10% of snapshots (the
+  reader's ambiguous I/Q demodulation);
+* ``multipath`` — the direct path superposed with a wall reflection at
+  0.35 relative amplitude.
+
+For each scenario the file also records *golden outputs* computed with
+the reference engine at generation time (per-disk fused peak azimuths
+and the triangulated fix), so the equivalence suite doubles as a
+regression pin: any drift of the reference path itself is caught, not
+just reference/batched divergence.
+
+The fixtures are committed; regenerate only when the reference
+algorithm intentionally changes, and commit the resulting drift
+alongside the algorithm change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.constants import RELATIVE_PHASE_STD_RAD
+from repro.core.geometry import Point2
+from repro.core.locator import TagspinLocator2D
+from repro.core.spectrum import (
+    SnapshotSeries,
+    combine_spectra,
+    compute_r_profile,
+    default_azimuth_grid,
+)
+
+DISK_CENTERS = [(-0.25, 0.0), (0.25, 0.0), (0.0, -0.45)]
+WAVELENGTHS = [0.3245, 0.3255]
+READER_POSE = (0.4, 1.9)
+RADIUS = 0.10
+ANGULAR_SPEEDS = [1.0, 1.1, 0.9]
+PHASE0S = [0.0, 0.8, 2.1]
+SNAPSHOTS = 90
+NOISE_STD = 0.05
+AZIMUTH_RESOLUTION_DEG = 0.5
+
+
+def _tag_positions(times, center, omega, phase0):
+    angles = omega * times + phase0
+    return (
+        center[0] + RADIUS * np.cos(angles),
+        center[1] + RADIUS * np.sin(angles),
+    )
+
+
+def _path_phase(times, center, omega, phase0, source, wavelength):
+    """Wrapped backscatter phase of the path tag <-> ``source``."""
+    x, y = _tag_positions(times, center, omega, phase0)
+    distance = np.hypot(source[0] - x, source[1] - y)
+    return 4.0 * np.pi / wavelength * distance
+
+
+def _scenario_phases(kind, times, disk, channel, rng):
+    center = DISK_CENTERS[disk]
+    omega = ANGULAR_SPEEDS[disk]
+    phase0 = PHASE0S[disk]
+    wavelength = WAVELENGTHS[channel]
+    direct = _path_phase(times, center, omega, phase0, READER_POSE, wavelength)
+    if kind == "multipath":
+        # Wall reflection: image of the reader across the x axis.
+        mirror = (READER_POSE[0], -READER_POSE[1])
+        reflected = _path_phase(times, center, omega, phase0, mirror, wavelength)
+        phases = np.angle(
+            np.exp(1j * direct) + 0.35 * np.exp(1j * reflected)
+        )
+    else:
+        phases = direct
+    phases = phases + NOISE_STD * rng.standard_normal(times.size)
+    if kind == "pi_slip":
+        slips = rng.random(times.size) < 0.10
+        phases = phases + np.pi * slips
+    return np.mod(phases, 2.0 * np.pi)
+
+
+def build_fixture() -> dict:
+    arrays = {}
+    grid = default_azimuth_grid(np.deg2rad(AZIMUTH_RESOLUTION_DEG))
+    locator = TagspinLocator2D()
+    for offset, kind in enumerate(("clean", "pi_slip", "multipath")):
+        rng = np.random.default_rng(20160 + offset)
+        peaks = []
+        spectra = []
+        for disk in range(len(DISK_CENTERS)):
+            per_channel = []
+            for channel in range(len(WAVELENGTHS)):
+                period = 2.0 * np.pi / ANGULAR_SPEEDS[disk]
+                times = np.sort(rng.uniform(0.0, 2.0 * period, SNAPSHOTS))
+                phases = _scenario_phases(kind, times, disk, channel, rng)
+                prefix = f"{kind}/d{disk}/c{channel}"
+                arrays[f"{prefix}/times"] = times
+                arrays[f"{prefix}/phases"] = phases
+                series = SnapshotSeries(
+                    times=times,
+                    phases=phases,
+                    wavelength=WAVELENGTHS[channel],
+                    radius=RADIUS,
+                    angular_speed=ANGULAR_SPEEDS[disk],
+                    phase0=PHASE0S[disk],
+                )
+                per_channel.append(
+                    compute_r_profile(
+                        series, grid, sigma=RELATIVE_PHASE_STD_RAD
+                    )
+                )
+            fused = combine_spectra(per_channel)
+            spectra.append(fused)
+            peaks.append(fused.peak_azimuth)
+        fix = locator.locate(
+            [Point2(*c) for c in DISK_CENTERS], spectra
+        )
+        arrays[f"{kind}/golden_peaks"] = np.array(peaks)
+        arrays[f"{kind}/golden_fix"] = np.array(
+            [fix.position.x, fix.position.y, fix.residual]
+        )
+    arrays["meta/centers"] = np.array(DISK_CENTERS)
+    arrays["meta/wavelengths"] = np.array(WAVELENGTHS)
+    arrays["meta/angular_speeds"] = np.array(ANGULAR_SPEEDS)
+    arrays["meta/phase0s"] = np.array(PHASE0S)
+    arrays["meta/radius"] = np.array(RADIUS)
+    arrays["meta/pose"] = np.array(READER_POSE)
+    arrays["meta/azimuth_resolution_deg"] = np.array(AZIMUTH_RESOLUTION_DEG)
+    return arrays
+
+
+def main() -> None:
+    target = Path(__file__).parent / "golden_scenarios.npz"
+    np.savez_compressed(target, **build_fixture())
+    print(f"wrote {target} ({target.stat().st_size / 1024:.0f} KiB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""Tests for the parallel fan-out engine and its serial degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from helpers import make_series
+
+from repro.core.spectrum import default_azimuth_grid, default_polar_grid
+from repro.perf import (
+    BatchedEngine,
+    ParallelEngine,
+    ReferenceEngine,
+    create_engine,
+)
+
+GRID = default_azimuth_grid(np.deg2rad(2.0))
+AZIMUTHS = [0.3, 1.4, 2.6, 4.1, 5.5]
+
+
+def _batch():
+    return [make_series(azimuth=a, n=60, seed=7 + i)
+            for i, a in enumerate(AZIMUTHS)]
+
+
+class TestThreadFanOut:
+    def test_matches_reference_in_input_order(self):
+        series_list = _batch()
+        expected = ReferenceEngine().azimuth_spectra(series_list, GRID, 0.14)
+        with ParallelEngine(mode="thread", max_workers=2) as engine:
+            actual = engine.azimuth_spectra(series_list, GRID, 0.14)
+        assert len(actual) == len(expected)
+        for want, got in zip(expected, actual):
+            assert np.array_equal(want.power, got.power)
+            assert want.peak_azimuth == got.peak_azimuth
+
+    def test_joint_spectra_match_reference(self):
+        series_list = _batch()[:2]
+        polars = default_polar_grid(np.deg2rad(15.0))
+        expected = ReferenceEngine().joint_spectra(
+            series_list, GRID, polars, 0.14
+        )
+        with ParallelEngine(mode="thread", max_workers=2) as engine:
+            actual = engine.joint_spectra(series_list, GRID, polars, 0.14)
+        for want, got in zip(expected, actual):
+            assert np.array_equal(want.power, got.power)
+
+    def test_thread_pool_shares_base_caches(self):
+        """Thread workers feed one batched engine, so repeats still hit."""
+        series_list = _batch()
+        with ParallelEngine(mode="thread", max_workers=2) as engine:
+            engine.azimuth_spectra(series_list, GRID, 0.14)
+            engine.azimuth_spectra(series_list, GRID, 0.14)
+            stats = engine.cache_stats()
+        assert stats["spectra"]["hits"] == len(series_list)
+
+    def test_single_series_skips_the_pool(self):
+        with ParallelEngine(mode="thread", max_workers=2) as engine:
+            spectra = engine.azimuth_spectra(_batch()[:1], GRID, 0.14)
+            assert len(spectra) == 1
+            assert engine._executor is None  # never spun up
+
+
+class TestSerialDegradation:
+    def test_serial_mode_never_builds_a_pool(self):
+        with ParallelEngine(mode="serial") as engine:
+            spectra = engine.azimuth_spectra(_batch(), GRID, 0.14)
+            assert engine.is_serial
+            assert engine._executor is None
+        expected = ReferenceEngine().azimuth_spectra(_batch(), GRID, 0.14)
+        for want, got in zip(expected, spectra):
+            assert np.array_equal(want.power, got.power)
+
+    def test_single_worker_short_circuits_to_serial(self):
+        with ParallelEngine(mode="thread", max_workers=1) as engine:
+            assert engine.is_serial
+            spectra = engine.azimuth_spectra(_batch(), GRID, 0.14)
+        assert len(spectra) == len(AZIMUTHS)
+
+    def test_pool_failure_falls_back_and_warns(self, monkeypatch):
+        import concurrent.futures
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no threads available")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ThreadPoolExecutor", broken_pool
+        )
+        with ParallelEngine(mode="thread", max_workers=4) as engine:
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                spectra = engine.azimuth_spectra(_batch(), GRID, 0.14)
+            assert engine.is_serial
+        expected = ReferenceEngine().azimuth_spectra(_batch(), GRID, 0.14)
+        for want, got in zip(expected, spectra):
+            assert np.array_equal(want.power, got.power)
+
+    def test_fallback_is_permanent_and_silent_after_first_warning(
+        self, monkeypatch
+    ):
+        import concurrent.futures
+
+        calls = []
+
+        def broken_pool(*args, **kwargs):
+            calls.append(1)
+            raise OSError("no threads")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ThreadPoolExecutor", broken_pool
+        )
+        with ParallelEngine(mode="thread", max_workers=4) as engine:
+            with pytest.warns(RuntimeWarning):
+                engine.azimuth_spectra(_batch(), GRID, 0.14)
+            engine.azimuth_spectra(_batch()[3:], GRID, None)  # no new warning
+        assert len(calls) == 1
+
+
+class TestConstruction:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(mode="gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(max_workers=0)
+
+    def test_single_series_calls_delegate_to_base(self):
+        base = BatchedEngine()
+        with ParallelEngine(base=base, mode="thread", max_workers=2) as engine:
+            spectrum = engine.azimuth_spectrum(_batch()[0], GRID, 0.14)
+            assert base.cache_stats()["spectra"]["misses"] == 1
+            again = engine.azimuth_spectrum(_batch()[0], GRID, 0.14)
+        assert again is spectrum
+
+    def test_create_engine_names(self):
+        for spec, name in [
+            (None, "reference"),
+            ("reference", "reference"),
+            ("batched", "batched"),
+            ("parallel", "parallel-thread"),
+            ("parallel-thread", "parallel-thread"),
+            ("parallel-process", "parallel-process"),
+        ]:
+            engine = create_engine(spec)
+            try:
+                assert engine.name == name
+            finally:
+                engine.close()
+
+    def test_create_engine_passthrough_and_rejection(self):
+        base = BatchedEngine()
+        assert create_engine(base) is base
+        with pytest.raises(ValueError):
+            create_engine("warp-drive")

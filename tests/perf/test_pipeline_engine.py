@@ -1,0 +1,122 @@
+"""End-to-end: the pipeline and servers produce identical fixes per engine.
+
+The ``engine=`` strategy object must be a pure performance knob — swapping
+it can never change a localization answer.  These tests run one simulated
+collection through :class:`TagspinSystem` (and the resilient server) once
+per engine and require the resulting fixes to be *equal*, not just close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geometry import Point2, Point3
+from repro.core.pipeline import LocalizationPipeline, TagspinSystem
+from repro.perf import BatchedEngine, ReferenceEngine
+from repro.server.resilience import ResilientLocalizationServer
+from repro.server.service import LocalizationServer
+from repro.sim.scenario import paper_default_scenario
+
+
+@pytest.fixture(scope="module")
+def collected():
+    """One scenario and one collected batch, shared across engine runs."""
+    scenario = paper_default_scenario(seed=11)
+    scenario.run_orientation_prelude()
+    batch, _reader = scenario.collect(Point3(0.5, 2.0, 0.0))
+    return scenario, batch
+
+
+def _fix_with_engine(collected, engine):
+    scenario, batch = collected
+    system = TagspinSystem(
+        scenario.scene.registry, scenario.config.pipeline, engine=engine
+    )
+    return system.locate_2d(batch, 1)
+
+
+class TestPipelineEngineEquivalence:
+    @pytest.mark.parametrize("engine", ["batched", "parallel-thread"])
+    def test_fix_identical_to_reference(self, collected, engine):
+        expected = _fix_with_engine(collected, "reference")
+        actual = _fix_with_engine(collected, engine)
+        assert actual.position.x == expected.position.x
+        assert actual.position.y == expected.position.y
+        assert actual.residual == expected.residual
+        assert actual.confidence == expected.confidence
+
+    def test_fix_is_accurate(self, collected):
+        fix = _fix_with_engine(collected, "batched")
+        truth = Point2(0.5, 2.0)
+        assert fix.position.distance_to(truth) < 0.15
+
+    def test_repeated_fix_hits_caches(self, collected):
+        scenario, batch = collected
+        engine = BatchedEngine()
+        system = TagspinSystem(
+            scenario.scene.registry, scenario.config.pipeline, engine=engine
+        )
+        first = system.locate_2d(batch, 1)
+        cold = engine.cache_stats()["spectra"]
+        second = system.locate_2d(batch, 1)
+        warm = engine.cache_stats()["spectra"]
+        assert warm["hits"] > cold["hits"]
+        assert second.position.x == first.position.x
+        assert second.position.y == first.position.y
+
+    def test_engine_instance_passthrough(self, collected):
+        scenario, _batch = collected
+        engine = ReferenceEngine()
+        system = TagspinSystem(
+            scenario.scene.registry, scenario.config.pipeline, engine=engine
+        )
+        assert system.engine is engine
+
+    def test_unknown_engine_name_rejected(self, collected):
+        scenario, _batch = collected
+        with pytest.raises(ValueError):
+            TagspinSystem(
+                scenario.scene.registry,
+                scenario.config.pipeline,
+                engine="quantum",
+            )
+
+    def test_localization_pipeline_alias(self):
+        assert LocalizationPipeline is TagspinSystem
+
+
+class TestServerEnginePassthrough:
+    def test_localization_server_forwards_engine(self, collected):
+        scenario, _batch = collected
+        server = LocalizationServer(
+            scenario.scene.registry,
+            scenario.config.pipeline,
+            engine="batched",
+        )
+        assert server.system.engine.name == "batched"
+
+    def test_resilient_server_forwards_engine(self, collected):
+        scenario, _batch = collected
+        server = ResilientLocalizationServer(
+            scenario.scene.registry,
+            scenario.config.pipeline,
+            engine="batched",
+        )
+        assert server.system.engine.name == "batched"
+
+    def test_resilient_server_fix_identical_across_engines(self, collected):
+        scenario, batch = collected
+
+        def serve(engine):
+            server = ResilientLocalizationServer(
+                scenario.scene.registry,
+                scenario.config.pipeline,
+                engine=engine,
+            )
+            server.ingest("reader-1", batch.reports)
+            return server.locate_antenna_2d("reader-1")
+
+        expected = serve("reference")
+        actual = serve("batched")
+        assert actual.position.x == expected.position.x
+        assert actual.position.y == expected.position.y

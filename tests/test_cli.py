@@ -41,6 +41,38 @@ class TestCommands:
         assert "mean_cm" in output
 
 
+class TestBenchEngine:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench-engine"])
+        assert args.scales == ["medium"]
+        assert "batched" in args.engines
+        assert args.rounds == 3
+
+    def test_bench_engine_command(self, capsys, tmp_path):
+        """A tiny run: the table prints and the JSON artifact is written."""
+        json_path = tmp_path / "timings.json"
+        assert main([
+            "bench-engine",
+            "--scales", "small",
+            "--engines", "reference", "batched",
+            "--rounds", "1",
+            "--snapshots", "24",
+            "--json", str(json_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "scenario small" in output
+        assert "batched" in output
+        assert json_path.exists()
+
+    def test_bench_engine_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            main([
+                "bench-engine", "--scales", "small",
+                "--engines", "warp-drive", "--rounds", "1",
+                "--snapshots", "24",
+            ])
+
+
 class TestNewCommands:
     def test_plan_command(self, capsys):
         assert main(["plan", "--resolution", "1.0"]) == 0
