@@ -1,4 +1,4 @@
-"""Engine-scaling benchmark: reference vs batched vs parallel engines.
+"""Engine-scaling benchmark: reference vs batched vs parallel vs adaptive.
 
 Unlike the paper-figure benchmarks (which run under pytest), this is a
 standalone script so CI's perf-smoke job and developers can run it
@@ -8,13 +8,24 @@ directly:
     PYTHONPATH=src python benchmarks/bench_engine_scaling.py --quick  # CI gate
 
 ``--quick`` runs a trimmed medium scenario (the acceptance shape:
-4 disks x 2 antennas x 8 channels) and **fails** (exit 1) if the batched
-engine is not faster than the reference engine — the regression gate for
-the batched spectrum path.  ``--json`` writes the machine-readable
-timings (uploaded as a CI artifact).
+4 disks x 2 antennas x 8 channels, fewer snapshots/rounds but the full
+0.5-degree grid) and **fails** (exit 1) unless
 
-Every run verifies engine equivalence (<= 1e-9 against the reference)
-before timing; see ``repro/perf/bench.py`` for the workload definition.
+* the batched engine beats the reference engine,
+* the adaptive engine is at least ``--min-adaptive-speedup`` (default
+  2x) faster than the batched engine with its max angular error within
+  the configured tolerance (default 1e-3 rad), and
+* the streaming accumulator's append-only warm fix is strictly cheaper
+  than a cold fix in the included microbenchmark.
+
+``--json`` writes the machine-readable timings; every run also writes
+``benchmarks/results/BENCH_<mode>.json`` so a perf trajectory
+(``BENCH_*.json``, uploaded by the CI perf-smoke job) accumulates
+across PRs.
+
+Every run verifies engine equivalence before timing (dense engines
+within 1e-9, the adaptive engine's peak within its angular tolerance);
+see ``repro/perf/bench.py`` for the workload definition.
 """
 
 from __future__ import annotations
@@ -26,11 +37,16 @@ from pathlib import Path
 from repro.perf.bench import (
     SCALES,
     format_results,
+    format_streaming,
     results_to_json,
     run_engine_scaling,
+    run_streaming_microbench,
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default adaptive-vs-batched speedup the --quick gate requires.
+MIN_ADAPTIVE_SPEEDUP = 2.0
 
 
 def main(argv=None) -> int:
@@ -40,8 +56,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="trimmed medium-scenario run that fails if the batched "
-        "engine is slower than the reference engine",
+        help="trimmed medium-scenario run with the CI perf gates "
+        "(batched > reference, adaptive >= 2x batched within tolerance, "
+        "streaming warm < cold)",
     )
     parser.add_argument(
         "--scales",
@@ -53,12 +70,29 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engines",
         nargs="+",
-        default=["reference", "batched", "parallel"],
-        help="engines to time (default: reference batched parallel)",
+        default=["reference", "batched", "parallel", "adaptive"],
+        help="engines to time (default: reference batched parallel adaptive)",
     )
     parser.add_argument("--rounds", type=int, default=None,
                         help="fixes per scenario (default 3; --quick 2)")
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="adaptive engine angular tolerance [rad] (default 1e-3)",
+    )
+    parser.add_argument(
+        "--min-adaptive-speedup",
+        type=float,
+        default=MIN_ADAPTIVE_SPEEDUP,
+        help="adaptive-vs-batched speedup the --quick gate requires",
+    )
+    parser.add_argument(
+        "--no-streaming",
+        action="store_true",
+        help="skip the streaming cold-vs-append microbenchmark",
+    )
     parser.add_argument(
         "--json",
         type=Path,
@@ -70,7 +104,9 @@ def main(argv=None) -> int:
     if args.quick:
         scales = args.scales or ["medium"]
         rounds = args.rounds or 2
-        overrides = {"snapshots": 60, "azimuth_resolution_deg": 1.0}
+        # Keep the full 0.5-degree grid: the gate judges how the engines
+        # scale with grid density, which is exactly what adaptive shrinks.
+        overrides = {"snapshots": 60}
     else:
         scales = args.scales or ["small", "medium", "large"]
         rounds = args.rounds or 3
@@ -81,34 +117,85 @@ def main(argv=None) -> int:
         engines=args.engines,
         rounds=rounds,
         seed=args.seed,
+        tolerance=args.tolerance,
         **overrides,
     )
     table = format_results(results)
     print(table)
+
+    streaming = None
+    if not args.no_streaming:
+        streaming = run_streaming_microbench(seed=args.seed)
+        print()
+        print(format_streaming(streaming))
+
+    payload = results_to_json(results, streaming=streaming)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "engine_scaling.txt").write_text(table + "\n")
+    mode = "quick" if args.quick else "full"
+    trajectory = RESULTS_DIR / f"BENCH_{mode}.json"
+    trajectory.write_text(payload)
+    print(f"\nwrote {trajectory}")
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
-        args.json.write_text(results_to_json(results))
+        args.json.write_text(payload)
+        print(f"wrote {args.json}")
 
     if args.quick:
+        failures = []
         for result in results:
             reference = result.timing("reference")
             batched = result.timing("batched")
-            if reference is None or batched is None:
-                continue
-            if batched.total_s >= reference.total_s:
-                print(
-                    f"FAIL: batched engine ({batched.total_s:.3f}s) is not "
-                    f"faster than reference ({reference.total_s:.3f}s) on "
-                    f"the {result.spec.name} scenario",
-                    file=sys.stderr,
+            adaptive = result.timing("adaptive")
+            if reference is not None and batched is not None:
+                if batched.total_s >= reference.total_s:
+                    failures.append(
+                        f"batched engine ({batched.total_s:.3f}s) is not "
+                        f"faster than reference ({reference.total_s:.3f}s) "
+                        f"on the {result.spec.name} scenario"
+                    )
+                else:
+                    print(
+                        f"OK: batched engine is {batched.speedup:.2f}x the "
+                        f"reference on the {result.spec.name} scenario"
+                    )
+            if batched is not None and adaptive is not None:
+                ratio = batched.total_s / adaptive.total_s
+                if ratio < args.min_adaptive_speedup:
+                    failures.append(
+                        f"adaptive engine is only {ratio:.2f}x the batched "
+                        f"engine on the {result.spec.name} scenario "
+                        f"(need >= {args.min_adaptive_speedup:.1f}x)"
+                    )
+                elif adaptive.max_angular_error > adaptive.error_budget:
+                    failures.append(
+                        f"adaptive max angular error "
+                        f"{adaptive.max_angular_error:.2e} rad exceeds the "
+                        f"tolerance {adaptive.error_budget:.0e}"
+                    )
+                else:
+                    print(
+                        f"OK: adaptive engine is {ratio:.2f}x the batched "
+                        f"engine on the {result.spec.name} scenario "
+                        f"(max angular error {adaptive.max_angular_error:.2e}"
+                        f" <= {adaptive.error_budget:.0e} rad)"
+                    )
+        if streaming is not None:
+            if streaming.warm_s >= streaming.cold_s:
+                failures.append(
+                    f"streaming warm fix ({streaming.warm_s * 1e3:.3f} ms) "
+                    f"is not cheaper than a cold fix "
+                    f"({streaming.cold_s * 1e3:.3f} ms)"
                 )
-                return 1
-            print(
-                f"OK: batched engine is {batched.speedup:.2f}x the "
-                f"reference on the {result.spec.name} scenario"
-            )
+            else:
+                print(
+                    f"OK: streaming append-only fix is "
+                    f"{streaming.speedup:.2f}x cheaper than a cold fix"
+                )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -19,8 +19,11 @@ Commands
     Simulate a collection with an optional injected fault, run it through
     the resilient server and print the fix with its full diagnostics.
 ``bench-engine``
-    Time the spectrum engines (reference vs batched vs parallel) over a
-    synthetic multi-disk deployment and print the scaling table.
+    Time the spectrum engines (reference vs batched vs parallel vs
+    adaptive) over a synthetic multi-disk deployment and print the
+    scaling table; ``--streaming`` adds the cold-vs-append streaming
+    microbenchmark and ``--tolerance`` sets the adaptive engine's
+    angular tolerance.
 """
 
 from __future__ import annotations
@@ -233,8 +236,10 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
 
     from repro.perf.bench import (
         format_results,
+        format_streaming,
         results_to_json,
         run_engine_scaling,
+        run_streaming_microbench,
     )
 
     overrides = {}
@@ -245,13 +250,19 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         engines=args.engines,
         rounds=args.rounds,
         seed=args.seed,
+        tolerance=args.tolerance,
         **overrides,
     )
     print(format_results(results))
+    streaming = None
+    if args.streaming:
+        streaming = run_streaming_microbench(seed=args.seed)
+        print()
+        print(format_streaming(streaming))
     if args.json is not None:
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(results_to_json(results))
+        path.write_text(results_to_json(results, streaming=streaming))
         print(f"wrote {path}")
     return 0
 
@@ -333,14 +344,20 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument(
         "--engines",
         nargs="+",
-        default=["reference", "batched", "parallel"],
+        default=["reference", "batched", "parallel", "adaptive"],
         help="engines to time (reference, batched, parallel, "
-        "parallel-thread, parallel-process)",
+        "parallel-thread, parallel-process, adaptive, streaming)",
     )
     pb.add_argument("--rounds", type=int, default=3,
                     help="localization fixes per scenario")
     pb.add_argument("--snapshots", type=int, default=None,
                     help="override snapshots per series")
+    pb.add_argument("--tolerance", type=float, default=None,
+                    help="adaptive engine angular tolerance [rad] "
+                    "(default 1e-3)")
+    pb.add_argument("--streaming", action="store_true",
+                    help="also run the cold-vs-append streaming "
+                    "microbenchmark")
     pb.add_argument("--json", default=None,
                     help="write machine-readable timings to this path")
     _add_common(pb)

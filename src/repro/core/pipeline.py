@@ -216,8 +216,10 @@ class TagspinSystem:
         )
         grid = default_azimuth_grid(self.config.azimuth_resolution)
         sigma = self.config.sigma if use_enhanced else None
-        spectra = self.engine.azimuth_spectra(series_list, grid, sigma=sigma)
-        return combine_spectra(spectra)
+        # The engine owns channel fusion: dense engines combine per-series
+        # spectra exactly as before (combine_spectra); the adaptive engine
+        # refines the fused objective directly on its coarse grid.
+        return self.engine.fused_azimuth_spectrum(series_list, grid, sigma=sigma)
 
     def joint_spectrum(
         self,
@@ -276,9 +278,12 @@ class TagspinSystem:
         peak_polar = float(
             np.sum(weights * np.array([s.peak_polar for s in spectra]))
         )
+        # The fused surface lives on the grid the engine actually
+        # evaluated — the adaptive engine returns coarse grids, so the
+        # requested dense grids would misdescribe ``mean_power``.
         return JointSpectrum(
-            azimuth_grid=azimuths,
-            polar_grid=polars,
+            azimuth_grid=spectra[0].azimuth_grid,
+            polar_grid=spectra[0].polar_grid,
             power=mean_power,
             peak_azimuth=peak_azimuth,
             peak_polar=peak_polar,

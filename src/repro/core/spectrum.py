@@ -427,11 +427,23 @@ def combine_spectra(spectra: Sequence[AngleSpectrum]) -> AngleSpectrum:
     if not spectra:
         raise ValueError("no spectra to combine")
     grid = spectra[0].azimuth_grid
-    for spectrum in spectra[1:]:
-        if spectrum.azimuth_grid.shape != grid.shape or not np.allclose(
-            spectrum.azimuth_grid, grid
-        ):
-            raise ValueError("spectra must share the same azimuth grid")
+    for index, spectrum in enumerate(spectra[1:], start=1):
+        if spectrum.azimuth_grid.shape != grid.shape:
+            raise ValueError(
+                f"spectra must share the same azimuth grid: spectrum 0 has "
+                f"{grid.size} points but spectrum {index} has "
+                f"{spectrum.azimuth_grid.size} (mixing engines or "
+                f"resolutions? combine only spectra evaluated on one grid)"
+            )
+        if not np.allclose(spectrum.azimuth_grid, grid):
+            deviation = float(
+                np.max(np.abs(spectrum.azimuth_grid - grid))
+            )
+            raise ValueError(
+                f"spectra must share the same azimuth grid: spectrum "
+                f"{index}'s grid deviates from spectrum 0's by up to "
+                f"{deviation:.3e} rad"
+            )
     power = np.mean([s.power for s in spectra], axis=0)
     peak_azimuth, peak_power = _refine_peak_circular(grid, power)
     return AngleSpectrum(grid, power, peak_azimuth, peak_power)

@@ -9,10 +9,17 @@ Public surface:
   + whole-grid vectorized evaluation under a memory budget;
 * :class:`~repro.perf.parallel.ParallelEngine` — worker-pool fan-out
   with a serial fallback;
+* :class:`~repro.perf.adaptive.AdaptiveEngine` — coarse-to-fine basin
+  search down to an angular tolerance, dense fallback on flat spectra;
+* :class:`~repro.perf.streaming.StreamingEngine` /
+  :class:`~repro.perf.streaming.StreamingSpectrumAccumulator` —
+  incremental per-link residual accumulation for append-only batches;
 * :func:`~repro.perf.engine.create_engine` — resolve ``engine=`` specs
-  (``"reference"`` / ``"batched"`` / ``"parallel"`` / instance).
+  (``"reference"`` / ``"batched"`` / ``"parallel"`` / ``"adaptive"`` /
+  ``"streaming"`` / instance).
 """
 
+from repro.perf.adaptive import AdaptiveEngine
 from repro.perf.batched import BatchedEngine
 from repro.perf.cache import CacheStats, LRUCache
 from repro.perf.engine import (
@@ -23,8 +30,10 @@ from repro.perf.engine import (
 )
 from repro.perf.parallel import ParallelEngine
 from repro.perf.steering import SteeringCache
+from repro.perf.streaming import StreamingEngine, StreamingSpectrumAccumulator
 
 __all__ = [
+    "AdaptiveEngine",
     "BatchedEngine",
     "CacheStats",
     "EngineSpec",
@@ -33,5 +42,7 @@ __all__ = [
     "ReferenceEngine",
     "SpectrumEngine",
     "SteeringCache",
+    "StreamingEngine",
+    "StreamingSpectrumAccumulator",
     "create_engine",
 ]

@@ -13,12 +13,20 @@ swappable without touching the pipeline:
   steering matrices, residuals and finished spectra.
 * :class:`~repro.perf.parallel.ParallelEngine` fans independent series
   out across a worker pool.
+* :class:`~repro.perf.adaptive.AdaptiveEngine` replaces dense scans with
+  a coarse-to-fine basin search down to a configurable angular
+  tolerance, falling back to the dense engine on flat spectra.
+* :class:`~repro.perf.streaming.StreamingEngine` accumulates per-link
+  residual matrices so append-only batches pay only for new snapshots.
 
 ``sigma=None`` selects the traditional profile ``Q``; a positive
 ``sigma`` selects the enhanced profile ``R`` with that weight width.
-Every engine must be equivalent to the reference within ``1e-9``
-(``tests/perf`` enforces this; the batched engine is bit-identical by
-construction because it shares the reference's arithmetic kernels).
+Dense engines must be equivalent to the reference within ``1e-9``
+(``tests/perf`` enforces this; the batched and streaming engines are
+bit-identical by construction because they share the reference's
+arithmetic kernels).  The adaptive engine relaxes only the *peak*: it
+is within its configured angular ``tolerance`` of the dense peak, and
+its power samples live on the coarse grid it actually evaluated.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.core.spectrum import (
     AngleSpectrum,
     JointSpectrum,
     SnapshotSeries,
+    combine_spectra,
     compute_q_profile,
     compute_q_profile_3d,
     compute_r_profile,
@@ -88,6 +97,32 @@ class SpectrumEngine:
             for series in series_list
         ]
 
+    def fused_azimuth_spectrum(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> AngleSpectrum:
+        """Channel-fused azimuth spectrum of one physical link.
+
+        The default combines per-series spectra by power averaging
+        (:func:`~repro.core.spectrum.combine_spectra`), exactly what the
+        pipeline used to do inline.  Engines that search rather than
+        scan (the adaptive engine) override this so the *fused*
+        objective is refined directly — averaging independently refined
+        peaks would not track the dense fused peak.
+        """
+        return combine_spectra(
+            self.azimuth_spectra(series_list, azimuth_grid, sigma)
+        )
+
+    def invalidate_streams(self) -> None:
+        """Drop incremental per-stream state, if the engine keeps any.
+
+        Called by the server when a stream buffer is explicitly cleared;
+        a no-op for engines whose caches are keyed purely on values.
+        """
+
     def cache_stats(self) -> dict:
         """Per-cache counters; empty for cacheless engines."""
         return {}
@@ -141,22 +176,39 @@ class ReferenceEngine(SpectrumEngine):
 EngineSpec = Union[SpectrumEngine, str, None]
 
 
-def create_engine(spec: EngineSpec = None) -> SpectrumEngine:
+def create_engine(
+    spec: EngineSpec = None, *, tolerance: Optional[float] = None
+) -> SpectrumEngine:
     """Resolve an ``engine=`` argument into a :class:`SpectrumEngine`.
 
     ``None`` and ``"reference"`` give the reference engine, ``"batched"``
     the cached vectorized engine, ``"parallel"`` (or
     ``"parallel-thread"`` / ``"parallel-process"``) a worker-pool fan-out
-    over a batched engine.  Instances pass through unchanged.
+    over a batched engine, ``"adaptive"`` the coarse-to-fine solver and
+    ``"streaming"`` the incremental accumulator over a batched engine.
+    Instances pass through unchanged.
+
+    ``tolerance`` sets the adaptive engine's angular tolerance [rad]; it
+    is only meaningful with ``spec="adaptive"`` and rejected elsewhere so
+    a silently ignored accuracy knob can't masquerade as honored.
     """
+    if isinstance(spec, str):
+        normalized: Optional[str] = spec.strip().lower()
+    else:
+        normalized = None
+    if tolerance is not None and normalized != "adaptive":
+        raise ValueError(
+            "tolerance is only supported by the 'adaptive' engine"
+        )
     if spec is None:
         return ReferenceEngine()
     if isinstance(spec, SpectrumEngine):
         return spec
+    from repro.perf.adaptive import AdaptiveEngine
     from repro.perf.batched import BatchedEngine
     from repro.perf.parallel import ParallelEngine
+    from repro.perf.streaming import StreamingEngine
 
-    normalized = spec.strip().lower()
     if normalized == "reference":
         return ReferenceEngine()
     if normalized == "batched":
@@ -165,7 +217,14 @@ def create_engine(spec: EngineSpec = None) -> SpectrumEngine:
         return ParallelEngine(mode="thread")
     if normalized == "parallel-process":
         return ParallelEngine(mode="process")
+    if normalized == "adaptive":
+        if tolerance is None:
+            return AdaptiveEngine()
+        return AdaptiveEngine(tolerance=tolerance)
+    if normalized == "streaming":
+        return StreamingEngine()
     raise ValueError(
         f"unknown spectrum engine {spec!r}; expected 'reference', "
-        f"'batched', 'parallel', 'parallel-thread' or 'parallel-process'"
+        f"'batched', 'parallel', 'parallel-thread', 'parallel-process', "
+        f"'adaptive' or 'streaming'"
     )

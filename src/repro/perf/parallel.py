@@ -206,6 +206,9 @@ class ParallelEngine(SpectrumEngine):
         """True once evaluation degrades to the base engine's loop."""
         return self._serial
 
+    def invalidate_streams(self) -> None:
+        self.base.invalidate_streams()
+
     def cache_stats(self) -> dict:
         # Process workers hold their own caches; only the local base's
         # counters are observable here.

@@ -1,0 +1,311 @@
+"""Incremental residual accumulation for the streaming server path.
+
+Every ``ReportBatch`` the server ingests is usually the previous buffer
+plus a few new reports, yet each ``locate_*`` call rebuilds every
+residual matrix from scratch.  The residual matrix is incrementally
+extendable: column ``i`` of :func:`~repro.core.phase.relative_phase_model`
+depends only on ``times[0]`` and ``times[i]`` (the per-column value is
+``scale * (cos(w*t0 + p0 - phi) - cos(w*ti + p0 - phi))``), and the
+measured side ``wrap(phases - phases[0])`` is element-wise in the same
+way.  So when a new series *extends* a previously seen one — same
+geometry, same snapshot prefix — only the new snapshots' residual
+columns need computing, and the concatenated matrix is bit-for-bit equal
+to a cold rebuild.
+
+:class:`StreamingSpectrumAccumulator` keys that per-link state on the
+series' quantized geometry plus its first snapshot (one entry per
+(EPC, antenna, channel) stream), verifies the prefix *exactly* on every
+access, and rebuilds from scratch whenever the prefix no longer matches
+— which is precisely what happens when device-diversity re-referencing
+shifts ``phases[0]``, when the validator quarantines or re-orders early
+reports, or when the server's ring buffer trims the head.  Invalidation
+is therefore automatic and conservative: the accumulator never serves a
+stale matrix, the worst case is a cold rebuild.
+
+:class:`StreamingEngine` wraps the accumulator as a
+:class:`~repro.perf.engine.SpectrumEngine`: azimuth spectra read the
+accumulated residual matrix and run the reference power/peak kernels on
+it (bit-identical to :class:`ReferenceEngine`); joint spectra delegate
+to the wrapped dense engine, whose steering cache already makes the
+orientation prelude cheap.  ``invalidate_streams()`` drops all link
+state; :meth:`repro.server.service.LocalizationServer.clear` calls it
+when a stream buffer is explicitly cleared.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.core.phase import relative_phase_model, wrap_phase_signed
+from repro.core.spectrum import (
+    AngleSpectrum,
+    JointSpectrum,
+    SnapshotSeries,
+    _check_series,
+    _refine_peak_circular,
+    power_from_residuals,
+)
+from repro.perf.batched import BatchedEngine
+from repro.perf.cache import quantize_array, quantize_scalar
+from repro.perf.engine import SpectrumEngine
+
+#: Default cap on tracked links (≈ EPC x antenna x channel streams).
+DEFAULT_MAX_LINKS = 1024
+
+
+@dataclass
+class StreamingStats:
+    """Counters of the accumulator's behavior, for tests and telemetry."""
+
+    cold_builds: int = 0
+    extensions: int = 0
+    exact_hits: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    columns_appended: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "cold_builds": self.cold_builds,
+            "extensions": self.extensions,
+            "exact_hits": self.exact_hits,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "columns_appended": self.columns_appended,
+        }
+
+
+@dataclass
+class _LinkState:
+    """Accumulated state of one (EPC, antenna, channel) stream."""
+
+    times: np.ndarray
+    phases: np.ndarray
+    #: Per-grid residual matrices; a matrix may lag behind ``times`` when
+    #: several grids are in play and is caught up lazily on access.
+    residuals: Dict[Hashable, np.ndarray] = field(default_factory=dict)
+
+
+class StreamingSpectrumAccumulator:
+    """Per-link incremental residual matrices with exact-prefix reuse.
+
+    ``residual_matrix(series, azimuths)`` returns the full wrapped
+    residual matrix of ``series`` on ``azimuths``; when the link was seen
+    before and ``series`` extends the stored snapshots exactly, only the
+    new columns are computed.  Any prefix mismatch — re-referenced
+    phases, reordered/quarantined reports, a trimmed buffer — rebuilds
+    the link from scratch and counts an invalidation.
+    """
+
+    def __init__(self, max_links: int = DEFAULT_MAX_LINKS) -> None:
+        if max_links < 1:
+            raise ValueError("max_links must be positive")
+        self.max_links = max_links
+        self._links: "OrderedDict[Hashable, _LinkState]" = OrderedDict()
+        self.stats = StreamingStats()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def link_key(series: SnapshotSeries) -> Hashable:
+        """Identity of the stream a series belongs to.
+
+        Geometry plus the first snapshot: two batches of the same
+        physical stream share wavelength/radius/speed/phase0 and start
+        at the same (time, phase) reference; the first snapshot is the
+        residual matrix's reference column, so any re-referencing moves
+        the key and naturally separates the states.
+        """
+        return (
+            quantize_scalar(series.wavelength),
+            quantize_scalar(series.radius),
+            quantize_scalar(series.angular_speed),
+            quantize_scalar(series.phase0),
+            quantize_scalar(float(series.times[0])),
+            quantize_scalar(float(series.phases[0])),
+        )
+
+    @staticmethod
+    def _grid_key(azimuths: np.ndarray) -> Hashable:
+        return quantize_array(azimuths)
+
+    # ------------------------------------------------------------------
+    # Column construction (bit-identical to the cold path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _full_matrix(
+        series: SnapshotSeries, azimuths: np.ndarray
+    ) -> np.ndarray:
+        theoretical = relative_phase_model(
+            series.times,
+            series.wavelength,
+            series.radius,
+            series.angular_speed,
+            azimuths,
+            0.0,
+            series.phase0,
+        )
+        return np.asarray(
+            wrap_phase_signed(series.relative_phases() - theoretical),
+            dtype=float,
+        )
+
+    @staticmethod
+    def _new_columns(
+        series: SnapshotSeries, azimuths: np.ndarray, start: int
+    ) -> np.ndarray:
+        """Residual columns ``start:`` of the full matrix.
+
+        The model is evaluated on ``[times[0]] + times[start:]`` and the
+        reference column dropped, so every retained column sees exactly
+        the operands of the cold build — the appended matrix stays
+        bit-for-bit equal to a full rebuild.
+        """
+        times = np.concatenate((series.times[:1], series.times[start:]))
+        theoretical = relative_phase_model(
+            times,
+            series.wavelength,
+            series.radius,
+            series.angular_speed,
+            azimuths,
+            0.0,
+            series.phase0,
+        )[..., 1:]
+        measured = np.asarray(
+            wrap_phase_signed(series.phases[start:] - series.phases[0]),
+            dtype=float,
+        )
+        return np.asarray(
+            wrap_phase_signed(measured - theoretical), dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def _extends(self, state: _LinkState, series: SnapshotSeries) -> bool:
+        n = state.times.size
+        if series.times.size < n:
+            return False
+        return bool(
+            np.array_equal(series.times[:n], state.times)
+            and np.array_equal(series.phases[:n], state.phases)
+        )
+
+    def residual_matrix(
+        self, series: SnapshotSeries, azimuths: np.ndarray
+    ) -> np.ndarray:
+        """Full wrapped residual matrix of ``series`` over ``azimuths``."""
+        azimuths = np.asarray(azimuths, dtype=float)
+        key = self.link_key(series)
+        state = self._links.get(key)
+        if state is not None and not self._extends(state, series):
+            self.stats.invalidations += 1
+            del self._links[key]
+            state = None
+        if state is None:
+            state = _LinkState(
+                times=np.array(series.times, dtype=float),
+                phases=np.array(series.phases, dtype=float),
+            )
+            self._links[key] = state
+            self.stats.cold_builds += 1
+        elif series.times.size > state.times.size:
+            state.times = np.array(series.times, dtype=float)
+            state.phases = np.array(series.phases, dtype=float)
+            self.stats.extensions += 1
+        else:
+            self.stats.exact_hits += 1
+        self._links.move_to_end(key)
+        while len(self._links) > self.max_links:
+            self._links.popitem(last=False)
+            self.stats.evictions += 1
+
+        grid_key = self._grid_key(azimuths)
+        matrix = state.residuals.get(grid_key)
+        if matrix is None:
+            matrix = self._full_matrix(series, azimuths)
+            state.residuals[grid_key] = matrix
+        elif matrix.shape[-1] < series.times.size:
+            # This grid's matrix lags the stream; append the missing
+            # columns (lazily per grid, so alternating grids stay cheap).
+            start = matrix.shape[-1]
+            fresh = self._new_columns(series, azimuths, start)
+            matrix = np.concatenate((matrix, fresh), axis=-1)
+            state.residuals[grid_key] = matrix
+            self.stats.columns_appended += fresh.shape[-1]
+        return matrix
+
+    def clear(self) -> None:
+        """Drop all link state (e.g. on an explicit buffer clear)."""
+        if self._links:
+            self.stats.invalidations += len(self._links)
+        self._links.clear()
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+
+class StreamingEngine(SpectrumEngine):
+    """Spectrum engine with incremental residual accumulation.
+
+    Azimuth spectra are computed from the accumulator's residual
+    matrices with the reference power/peak kernels — bit-identical to
+    :class:`ReferenceEngine`, but an append-only second fix pays only
+    for the new snapshots' residual columns.  Joint spectra (and
+    anything else) delegate to the wrapped dense engine.
+    """
+
+    name = "streaming"
+
+    def __init__(
+        self,
+        base: Optional[SpectrumEngine] = None,
+        max_links: int = DEFAULT_MAX_LINKS,
+    ) -> None:
+        self.base = base if base is not None else BatchedEngine()
+        self.accumulator = StreamingSpectrumAccumulator(max_links=max_links)
+
+    def azimuth_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> AngleSpectrum:
+        _check_series(series)
+        if sigma is not None and sigma <= 0:
+            raise ValueError("sigma must be positive")
+        grid = np.asarray(azimuth_grid, dtype=float)
+        residuals = self.accumulator.residual_matrix(series, grid)
+        power = power_from_residuals(residuals, sigma)
+        peak_azimuth, peak_power = _refine_peak_circular(grid, power)
+        return AngleSpectrum(grid, power, peak_azimuth, peak_power)
+
+    def joint_spectrum(
+        self,
+        series: SnapshotSeries,
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> JointSpectrum:
+        return self.base.joint_spectrum(
+            series, azimuth_grid, polar_grid, sigma
+        )
+
+    def invalidate_streams(self) -> None:
+        self.accumulator.clear()
+        self.base.invalidate_streams()
+
+    def cache_stats(self) -> dict:
+        stats = dict(self.base.cache_stats())
+        stats["streaming"] = dict(
+            self.accumulator.stats.as_dict(), links=len(self.accumulator)
+        )
+        return stats
+
+    def close(self) -> None:
+        self.base.close()

@@ -83,7 +83,13 @@ class ResilientLocalizationServer(LocalizationServer):
     engine : spectrum-evaluation strategy passed through to the pipeline
         (see :mod:`repro.perf`); the gated pipeline's repeated passes
         (scoring, triangulation, R-to-Q fallback) make the ``"batched"``
-        engine's caches especially effective here.
+        engine's caches especially effective here.  ``"adaptive"``
+        additionally shrinks each pass to a coarse-to-fine search, and
+        ``"streaming"`` makes poll-after-append cheap; both stay safe
+        under this server's quarantining because any validator decision
+        that reorders, drops or re-references early reports changes the
+        series prefix, which the streaming accumulator detects and
+        answers with a cold rebuild rather than stale state.
     """
 
     def __init__(

@@ -7,6 +7,13 @@ their positions.  :class:`LocalizationServer` is that component: it ingests
 LLRP reports incrementally (from any number of readers/antennas), tracks
 per-antenna report buffers and serves 2D/3D position queries through the
 Tagspin pipeline.
+
+With ``engine="streaming"`` the repeated poll-after-append pattern gets
+cheaper: the engine's :class:`~repro.perf.streaming
+.StreamingSpectrumAccumulator` recognizes that the new batch extends the
+previous one and appends only the new snapshots' residual columns.
+Explicitly clearing a stream also clears that per-stream state (any
+other buffer change is detected by the accumulator's own prefix check).
 """
 
 from __future__ import annotations
@@ -97,6 +104,11 @@ class LocalizationServer:
         ]
         for key in keys:
             del self._streams[key]
+        if keys:
+            # Streaming engines key residual state per series, not per
+            # stream buffer; dropping all of it is conservative and the
+            # next fix simply rebuilds cold.
+            self.system.engine.invalidate_streams()
 
     # ------------------------------------------------------------------
     # Queries

@@ -335,6 +335,25 @@ class TestCombineSpectra:
         with pytest.raises(ValueError):
             combine_spectra([a, b])
 
+    def test_size_mismatch_error_names_both_sizes(self, make_series):
+        """Mixing grids (e.g. a coarse adaptive spectrum with a dense one)
+        must fail with a message that says which spectrum diverges how."""
+        a = compute_q_profile(
+            make_series(azimuth=1.0), default_azimuth_grid(np.deg2rad(1.0))
+        )
+        b = compute_q_profile(
+            make_series(azimuth=1.0), default_azimuth_grid(np.deg2rad(2.0))
+        )
+        with pytest.raises(ValueError, match=r"spectrum 0 has 360.*spectrum 1 has 180"):
+            combine_spectra([a, b])
+
+    def test_shifted_grid_error_reports_deviation(self, make_series):
+        grid = default_azimuth_grid(np.deg2rad(1.0))
+        a = compute_q_profile(make_series(azimuth=1.0), grid)
+        b = compute_q_profile(make_series(azimuth=1.0), grid + 1e-3)
+        with pytest.raises(ValueError, match=r"spectrum 1.*deviates.*1\.000e-03"):
+            combine_spectra([a, b])
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             combine_spectra([])

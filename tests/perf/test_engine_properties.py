@@ -25,6 +25,9 @@ from repro.core.spectrum import (
 from repro.errors import InsufficientDataError
 from repro.perf import BatchedEngine, ReferenceEngine
 
+# Hypothesis-heavy perf suite: runs in the dedicated CI slow job.
+pytestmark = pytest.mark.slow
+
 AZIMUTH_GRID = default_azimuth_grid(np.deg2rad(5.0))
 POLAR_GRID = default_polar_grid(np.deg2rad(15.0))
 

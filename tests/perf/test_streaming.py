@@ -1,0 +1,244 @@
+"""Streaming accumulator: bit-identical appends, exact invalidation.
+
+The incremental path is only admissible because an append-only extension
+reproduces the cold residual matrix *bit for bit* (column ``i`` of the
+relative-phase model depends only on ``times[0]`` and ``times[i]``).
+These tests pin that equality, the accumulator's bookkeeping
+(cold/extension/hit/invalidation/eviction counters), and the server
+round trip: an ingest-locate-ingest-locate cycle on ``engine="streaming"``
+must reuse the buffered prefix and still produce exactly the reference
+server's fix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_series
+from repro.core.geometry import Point3
+from repro.core.spectrum import default_azimuth_grid
+from repro.perf import (
+    ReferenceEngine,
+    StreamingEngine,
+    StreamingSpectrumAccumulator,
+    create_engine,
+)
+from repro.server.service import LocalizationServer
+from repro.sim.scenario import paper_default_scenario
+
+GRID = default_azimuth_grid(np.deg2rad(2.0))
+OTHER_GRID = default_azimuth_grid(np.deg2rad(3.0))
+
+
+def _prefix(series, n):
+    return dataclasses.replace(
+        series, times=series.times[:n], phases=series.phases[:n]
+    )
+
+
+class TestAccumulator:
+    def test_extension_bit_identical_to_cold(self):
+        series = make_series(azimuth=1.1, noise_std=0.1, n=60, seed=3)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(_prefix(series, 40), GRID)
+        warm = accumulator.residual_matrix(series, GRID)
+        cold = StreamingSpectrumAccumulator().residual_matrix(series, GRID)
+        assert np.array_equal(warm, cold)
+        stats = accumulator.stats
+        assert stats.cold_builds == 1
+        assert stats.extensions == 1
+        assert stats.columns_appended == 20
+
+    def test_exact_repeat_is_a_hit(self):
+        series = make_series(azimuth=0.4, n=30)
+        accumulator = StreamingSpectrumAccumulator()
+        first = accumulator.residual_matrix(series, GRID)
+        second = accumulator.residual_matrix(series, GRID)
+        assert second is first  # the stored matrix, not a rebuild
+        assert accumulator.stats.exact_hits == 1
+        assert accumulator.stats.cold_builds == 1
+
+    def test_changed_interior_phase_invalidates(self):
+        """A quarantined/edited early report breaks the prefix: rebuild."""
+        series = make_series(azimuth=0.9, noise_std=0.1, n=30, seed=5)
+        tampered = dataclasses.replace(
+            series,
+            phases=np.concatenate(
+                ([series.phases[0], series.phases[1] + 0.5],
+                 series.phases[2:])
+            ),
+        )
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(series, GRID)
+        warm = accumulator.residual_matrix(tampered, GRID)
+        assert accumulator.stats.invalidations == 1
+        assert accumulator.stats.cold_builds == 2
+        cold = StreamingSpectrumAccumulator().residual_matrix(tampered, GRID)
+        assert np.array_equal(warm, cold)
+
+    def test_shrunk_series_invalidates(self):
+        """A trimmed ring buffer is shorter than the stored prefix."""
+        series = make_series(azimuth=0.9, n=30)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(series, GRID)
+        accumulator.residual_matrix(_prefix(series, 20), GRID)
+        assert accumulator.stats.invalidations == 1
+
+    def test_rereferenced_first_snapshot_is_a_new_link(self):
+        """Re-referencing moves phases[0], hence the link key: no mixing."""
+        series = make_series(azimuth=0.9, n=30)
+        shifted = dataclasses.replace(
+            series, phases=np.mod(series.phases + 0.25, 2.0 * np.pi)
+        )
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(series, GRID)
+        accumulator.residual_matrix(shifted, GRID)
+        assert accumulator.stats.invalidations == 0
+        assert accumulator.stats.cold_builds == 2
+        assert len(accumulator) == 2
+
+    def test_lazy_per_grid_catch_up(self):
+        """A grid first seen on the prefix catches up lazily and exactly."""
+        series = make_series(azimuth=1.7, noise_std=0.05, n=50, seed=8)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(_prefix(series, 30), GRID)
+        accumulator.residual_matrix(_prefix(series, 30), OTHER_GRID)
+        warm_a = accumulator.residual_matrix(series, GRID)
+        warm_b = accumulator.residual_matrix(series, OTHER_GRID)
+        assert np.array_equal(
+            warm_a, StreamingSpectrumAccumulator().residual_matrix(series, GRID)
+        )
+        assert np.array_equal(
+            warm_b,
+            StreamingSpectrumAccumulator().residual_matrix(series, OTHER_GRID),
+        )
+        # 20 columns for each grid's matrix, one extension bump (GRID's
+        # call grew the stored snapshots; OTHER_GRID's was an exact hit).
+        assert accumulator.stats.columns_appended == 40
+
+    def test_eviction_under_link_cap(self):
+        accumulator = StreamingSpectrumAccumulator(max_links=1)
+        accumulator.residual_matrix(make_series(azimuth=0.3, phase0=0.0), GRID)
+        accumulator.residual_matrix(make_series(azimuth=0.3, phase0=1.0), GRID)
+        assert len(accumulator) == 1
+        assert accumulator.stats.evictions == 1
+
+    def test_clear_counts_invalidations(self):
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(make_series(azimuth=0.3), GRID)
+        accumulator.clear()
+        assert len(accumulator) == 0
+        assert accumulator.stats.invalidations == 1
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingSpectrumAccumulator(max_links=0)
+
+    @pytest.mark.slow
+    @given(
+        split=st.integers(12, 58),
+        seed=st.integers(0, 50),
+        azimuth=st.floats(0.0, 2.0 * np.pi),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_split_point_stays_bit_identical(self, split, seed, azimuth):
+        """Property: wherever the batch boundary lands, warm == cold."""
+        series = make_series(azimuth=azimuth, noise_std=0.2, n=60, seed=seed)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(_prefix(series, split), GRID)
+        warm = accumulator.residual_matrix(series, GRID)
+        cold = StreamingSpectrumAccumulator().residual_matrix(series, GRID)
+        assert np.array_equal(warm, cold)
+
+
+class TestStreamingEngine:
+    def test_create_engine_resolves_streaming(self):
+        engine = create_engine("streaming")
+        assert isinstance(engine, StreamingEngine)
+        assert engine.name == "streaming"
+
+    def test_spectrum_bit_identical_to_reference(self):
+        series = make_series(azimuth=2.2, noise_std=0.1, n=60, seed=4)
+        expected = ReferenceEngine().azimuth_spectrum(series, GRID, 0.14)
+        engine = StreamingEngine()
+        engine.azimuth_spectrum(_prefix(series, 40), GRID, 0.14)
+        actual = engine.azimuth_spectrum(series, GRID, 0.14)  # warm append
+        assert np.array_equal(actual.power, expected.power)
+        assert actual.peak_azimuth == expected.peak_azimuth
+        assert actual.peak_power == expected.peak_power
+        assert engine.cache_stats()["streaming"]["extensions"] == 1
+
+    def test_invalidate_streams_drops_links(self):
+        engine = StreamingEngine()
+        engine.azimuth_spectrum(make_series(azimuth=1.0), GRID, 0.14)
+        assert engine.cache_stats()["streaming"]["links"] == 1
+        engine.invalidate_streams()
+        assert engine.cache_stats()["streaming"]["links"] == 0
+
+    def test_joint_delegates_to_base(self):
+        from repro.core.spectrum import default_polar_grid
+
+        series = make_series(azimuth=1.0, polar=0.2)
+        polars = default_polar_grid(np.deg2rad(6.0))
+        expected = ReferenceEngine().joint_spectrum(series, GRID, polars, 0.14)
+        actual = StreamingEngine().joint_spectrum(series, GRID, polars, 0.14)
+        assert np.array_equal(actual.power, expected.power)
+
+
+class TestStreamingServer:
+    @pytest.fixture(scope="class")
+    def collected(self):
+        scenario = paper_default_scenario(seed=11)
+        batch, _reader = scenario.collect(Point3(0.5, 2.0, 0.0))
+        reports = sorted(batch.reports, key=lambda r: r.reader_timestamp_us)
+        cut = int(len(reports) * 0.7)
+        return scenario, reports[:cut], reports[cut:]
+
+    def test_ingest_locate_cycle_extends_and_matches_reference(
+        self, collected
+    ):
+        scenario, first, second = collected
+
+        streaming = LocalizationServer(
+            scenario.scene.registry,
+            scenario.config.pipeline,
+            engine="streaming",
+        )
+        streaming.ingest("reader-1", first)
+        streaming.locate_antenna_2d("reader-1")  # builds the link states
+        streaming.ingest("reader-1", second)
+        fix = streaming.locate_antenna_2d("reader-1")  # appends columns
+
+        stats = streaming.system.engine.cache_stats()["streaming"]
+        assert stats["extensions"] > 0
+        assert stats["columns_appended"] > 0
+        assert stats["invalidations"] == 0
+
+        reference = LocalizationServer(
+            scenario.scene.registry,
+            scenario.config.pipeline,
+            engine="reference",
+        )
+        reference.ingest("reader-1", first + second)
+        expected = reference.locate_antenna_2d("reader-1")
+        assert fix.position.x == expected.position.x
+        assert fix.position.y == expected.position.y
+        assert fix.residual == expected.residual
+
+    def test_server_clear_invalidates_streams(self, collected):
+        scenario, first, _second = collected
+        server = LocalizationServer(
+            scenario.scene.registry,
+            scenario.config.pipeline,
+            engine="streaming",
+        )
+        server.ingest("reader-1", first)
+        server.locate_antenna_2d("reader-1")
+        assert server.system.engine.cache_stats()["streaming"]["links"] > 0
+        server.clear("reader-1")
+        assert server.system.engine.cache_stats()["streaming"]["links"] == 0
