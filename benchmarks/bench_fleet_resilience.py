@@ -1,0 +1,289 @@
+"""Fleet-resilience benchmark: serving throughput, fix latency, recovery.
+
+Standalone like ``bench_engine_scaling.py`` so CI's chaos-smoke job and
+developers can run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_fleet_resilience.py          # full
+    PYTHONPATH=src python benchmarks/bench_fleet_resilience.py --quick  # CI gate
+
+Three measured phases against a supervised multi-deployment fleet
+(streaming engine, bounded mailboxes, checkpointing on):
+
+* **ingest** — offered reports per second through the mailbox + actor
+  path until every deployment's buffer holds the collection;
+* **fixes** — p50/p99 latency of offer-then-fix serving cycles (the
+  streaming append path, the steady-state workload);
+* **recovery** — wall-clock time from an injected actor crash to the
+  next successful fix served by the warm-restarted incarnation.
+
+``--quick`` additionally runs the full chaos suite
+(:mod:`repro.fleet.chaos`) and **fails** (exit 1) unless every chaos
+SLO passes, the crashed deployment warm-restores from its checkpoint,
+and recovery stays within the fix-cycle budget.
+
+Every run writes ``benchmarks/results/BENCH_fleet_<mode>.json``
+(schema ``tagspin-bench/1``) so the resilience trajectory accumulates
+across PRs next to the engine-scaling one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.geometry import Point3
+from repro.fleet.actor import ActorConfig
+from repro.fleet.chaos import ChaosConfig, run_chaos_suite
+from repro.fleet.checkpoint import MemoryCheckpointStore
+from repro.fleet.events import EventLog
+from repro.fleet.supervisor import FleetSupervisor, SupervisorPolicy
+from repro.server.resilience import ResilientLocalizationServer, RetryPolicy
+from repro.sim.scenario import paper_default_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_POSE = Point3(0.4, 1.9, 0.0)
+
+
+async def _wait_until(predicate, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("fleet benchmark: condition not reached")
+        await asyncio.sleep(0.002)
+
+
+async def _bench_fleet(scenario, batch, deployments, rounds, chunk_size):
+    events = EventLog(capacity=65_536)
+    store = MemoryCheckpointStore()
+    supervisor = FleetSupervisor(
+        policy=SupervisorPolicy(
+            max_restarts=10,
+            restart_window_s=600.0,
+            backoff=RetryPolicy(
+                max_attempts=1_000_000,
+                backoff_base_s=0.005,
+                backoff_max_s=0.02,
+            ),
+            open_cooldown_s=0.05,
+            stability_probe_s=0.05,
+        ),
+        events=events,
+        store=store,
+    )
+    registry = scenario.scene.registry
+    pipeline = scenario.config.pipeline
+
+    def factory():
+        return ResilientLocalizationServer(
+            registry, pipeline, engine="streaming"
+        )
+
+    ids = [f"deployment-{i:02d}" for i in range(deployments)]
+    for deployment_id in ids:
+        supervisor.add_deployment(
+            deployment_id, factory, ActorConfig(high_water_mark=1_000_000)
+        )
+    await _wait_until(
+        lambda: all(
+            supervisor.actor(i) is not None and supervisor.actor(i).running
+            for i in ids
+        )
+    )
+
+    reports = batch.reports
+    chunks = [
+        reports[i : i + chunk_size]
+        for i in range(0, len(reports), chunk_size)
+    ]
+    held_out = chunks[-rounds:] if rounds < len(chunks) else chunks[-1:]
+    preload = chunks[: len(chunks) - len(held_out)] or chunks[:1]
+
+    async def drain_all():
+        await _wait_until(
+            lambda: all(
+                supervisor.actor(i) is not None
+                and supervisor.actor(i).mailbox.pending_reports == 0
+                for i in ids
+            )
+        )
+
+    # Phase 1: ingest throughput.
+    t0 = time.perf_counter()
+    for deployment_id in ids:
+        for chunk in preload:
+            supervisor.offer(deployment_id, "reader-1", chunk)
+    await drain_all()
+    ingest_s = time.perf_counter() - t0
+    ingested = sum(len(c) for c in preload) * deployments
+
+    # Phase 2: steady-state serving (offer one chunk, then fix).
+    latencies = []
+    for round_chunk in held_out:
+        for deployment_id in ids:
+            supervisor.offer(deployment_id, "reader-1", round_chunk)
+        await drain_all()
+        for deployment_id in ids:
+            start = time.perf_counter()
+            await supervisor.locate_2d(deployment_id, "reader-1")
+            latencies.append(time.perf_counter() - start)
+
+    # Phase 3: crash recovery of the first deployment.
+    victim = ids[0]
+    await supervisor.checkpoint(victim)
+    crash_start = time.perf_counter()
+    supervisor.kill(victim)
+    await _wait_until(
+        lambda: (
+            supervisor.actor(victim) is not None
+            and supervisor.actor(victim).incarnation > 0
+            and supervisor.actor(victim).running
+        )
+    )
+    recovery_cycles = 0
+    while True:
+        recovery_cycles += 1
+        try:
+            await supervisor.locate_2d(victim, "reader-1")
+            break
+        except Exception:
+            if recovery_cycles > 10:
+                raise
+            await asyncio.sleep(0.01)
+    recovery_s = time.perf_counter() - crash_start
+    warm = supervisor.actor(victim).stats.warm_restored
+    ledger = supervisor.accounting(victim)
+    await supervisor.stop()
+
+    lat = np.asarray(latencies)
+    return {
+        "deployments": deployments,
+        "ingest_reports_per_s": ingested / ingest_s if ingest_s else 0.0,
+        "ingested_reports": ingested,
+        "fix_rounds": len(latencies),
+        "fix_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "fix_p99_ms": float(np.percentile(lat, 99) * 1e3),
+        "fix_mean_ms": float(lat.mean() * 1e3),
+        "recovery_s": recovery_s,
+        "recovery_cycles": recovery_cycles,
+        "warm_restored": bool(warm),
+        "ledger": ledger,
+    }
+
+
+def _format_metrics(metrics: dict) -> str:
+    lines = [
+        "fleet resilience "
+        f"({metrics['deployments']} deployments, streaming engine)",
+        f"  ingest     : {metrics['ingest_reports_per_s']:,.0f} reports/s "
+        f"({metrics['ingested_reports']} reports)",
+        f"  fix latency: p50 {metrics['fix_p50_ms']:.1f} ms, "
+        f"p99 {metrics['fix_p99_ms']:.1f} ms "
+        f"({metrics['fix_rounds']} serving cycles)",
+        f"  recovery   : {metrics['recovery_s'] * 1e3:.0f} ms to first fix "
+        f"after crash ({metrics['recovery_cycles']} cycle(s), "
+        f"{'warm' if metrics['warm_restored'] else 'cold'} restore)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the fleet serving tier's resilience"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fleet plus the chaos-SLO gate (exit 1 on violation)",
+    )
+    parser.add_argument("--deployments", type=int, default=None,
+                        help="fleet size (default 4; --quick 2)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="serving cycles per deployment "
+                        "(default 6; --quick 3)")
+    parser.add_argument("--chunk-size", type=int, default=100,
+                        help="reports per offered batch")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write machine-readable metrics to this path too",
+    )
+    args = parser.parse_args(argv)
+
+    deployments = args.deployments or (2 if args.quick else 4)
+    rounds = args.rounds or (3 if args.quick else 6)
+
+    scenario = paper_default_scenario(seed=args.seed)
+    scenario.run_orientation_prelude()
+    batch, _reader = scenario.collect(BENCH_POSE)
+
+    metrics = asyncio.run(
+        _bench_fleet(scenario, batch, deployments, rounds, args.chunk_size)
+    )
+    print(_format_metrics(metrics))
+
+    chaos_doc = None
+    failures = []
+    if args.quick:
+        chaos = run_chaos_suite(ChaosConfig(seed=args.seed), scenario=scenario)
+        chaos_doc = chaos.as_dict()
+        for outcome in chaos.outcomes:
+            status = "OK" if outcome.passed else "FAIL"
+            print(f"{status}: chaos {outcome.name} — {outcome.slo}")
+            if not outcome.passed:
+                failures.append(
+                    f"chaos scenario {outcome.name} violated its SLO: "
+                    f"{outcome.details}"
+                )
+        if not metrics["warm_restored"]:
+            failures.append("crashed deployment did not warm-restore")
+        budget = ChaosConfig().recovery_fix_budget
+        if metrics["recovery_cycles"] > budget:
+            failures.append(
+                f"recovery took {metrics['recovery_cycles']} fix cycles "
+                f"(budget {budget})"
+            )
+
+    payload = json.dumps(
+        {
+            "schema": "tagspin-bench/1",
+            "benchmark": "fleet-resilience",
+            "mode": "quick" if args.quick else "full",
+            "config": {
+                "seed": args.seed,
+                "deployments": deployments,
+                "rounds": rounds,
+                "chunk_size": args.chunk_size,
+            },
+            "metrics": metrics,
+            "chaos": chaos_doc,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    mode = "quick" if args.quick else "full"
+    trajectory = RESULTS_DIR / f"BENCH_fleet_{mode}.json"
+    trajectory.write_text(payload + "\n")
+    print(f"\nwrote {trajectory}")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(payload + "\n")
+        print(f"wrote {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

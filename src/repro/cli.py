@@ -24,6 +24,12 @@ Commands
     scaling table; ``--streaming`` adds the cold-vs-append streaming
     microbenchmark and ``--tolerance`` sets the adaptive engine's
     angular tolerance.
+``serve``
+    Run a supervised fleet serving session over a simulated report
+    stream: several deployment actors ingest chunked traffic, serve
+    fixes and checkpoint; ``--kill`` crashes one actor mid-stream to
+    demonstrate the warm restart, ``--chaos`` runs the fault-injection
+    suite instead and exits nonzero on any SLO violation.
 """
 
 from __future__ import annotations
@@ -267,6 +273,134 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+    from pathlib import Path
+
+    from repro.core.geometry import Point3
+    from repro.fleet.actor import ActorConfig
+    from repro.fleet.chaos import ChaosConfig, run_chaos_suite
+    from repro.fleet.checkpoint import (
+        JsonCheckpointStore,
+        MemoryCheckpointStore,
+    )
+    from repro.fleet.events import EventLog
+    from repro.fleet.supervisor import FleetSupervisor, SupervisorPolicy
+    from repro.server.resilience import ResilientLocalizationServer
+
+    scenario = paper_default_scenario(seed=args.seed)
+    scenario.run_orientation_prelude()
+
+    if args.chaos:
+        report = run_chaos_suite(ChaosConfig(seed=args.seed), scenario=scenario)
+        for outcome in report.outcomes:
+            marker = "PASS" if outcome.passed else "FAIL"
+            print(f"{marker} {outcome.name}: {outcome.slo}")
+        print(
+            "chaos suite: "
+            + ("all SLOs met" if report.passed else "SLO VIOLATED")
+        )
+        return 0 if report.passed else 1
+
+    pose = Point3(args.x, args.y, 0.0)
+    batch, reader = scenario.collect(pose)
+    truth = reader.antenna(1).position.horizontal()
+    registry = scenario.scene.registry
+    pipeline = scenario.config.pipeline
+
+    store = (
+        JsonCheckpointStore(Path(args.checkpoint_dir))
+        if args.checkpoint_dir
+        else MemoryCheckpointStore()
+    )
+    events = EventLog()
+    supervisor = FleetSupervisor(
+        policy=SupervisorPolicy(), events=events, store=store
+    )
+
+    def factory() -> ResilientLocalizationServer:
+        return ResilientLocalizationServer(
+            registry, pipeline, engine="streaming"
+        )
+
+    ids = [f"deployment-{i:02d}" for i in range(args.deployments)]
+
+    async def wait_serving(deployment_id: str, incarnation: int = 0) -> None:
+        while True:
+            actor = supervisor.actor(deployment_id)
+            if (
+                actor is not None
+                and actor.running
+                and actor.incarnation >= incarnation
+            ):
+                return
+            await asyncio.sleep(0.005)
+
+    async def session() -> None:
+        for deployment_id in ids:
+            supervisor.add_deployment(
+                deployment_id,
+                factory,
+                ActorConfig(checkpoint_every=args.checkpoint_every),
+            )
+        for deployment_id in ids:
+            await wait_serving(deployment_id)
+
+        reports = batch.reports
+        chunks = [
+            list(reports[i : i + args.chunk_size])
+            for i in range(0, len(reports), args.chunk_size)
+        ]
+        kill_at = len(chunks) // 2 if args.kill else -1
+        for index, chunk in enumerate(chunks):
+            if index == kill_at:
+                print(f"-- crashing {ids[0]} mid-stream --")
+                await supervisor.checkpoint(ids[0])
+                supervisor.kill(ids[0])
+                await wait_serving(ids[0], incarnation=1)
+            for deployment_id in ids:
+                supervisor.offer(deployment_id, "reader-1", chunk)
+        while any(
+            supervisor.actor(i) is None
+            or supervisor.actor(i).mailbox.pending_reports
+            for i in ids
+        ):
+            await asyncio.sleep(0.005)
+
+        for deployment_id in ids:
+            start = time.perf_counter()
+            fix, _diag = await supervisor.locate_2d(deployment_id, "reader-1")
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            actor = supervisor.actor(deployment_id)
+            warm = " (warm-restored)" if actor.stats.warm_restored else ""
+            print(
+                f"{deployment_id}: fix ({fix.position.x:.3f}, "
+                f"{fix.position.y:.3f}) m, error "
+                f"{fix.position.distance_to(truth) * 100:.2f} cm, "
+                f"{elapsed_ms:.0f} ms, incarnation "
+                f"{actor.incarnation}{warm}"
+            )
+            acct = supervisor.accounting(deployment_id)
+            print(
+                f"  ledger: offered {acct['offered']}, delivered "
+                f"{acct['delivered']}, accepted {acct['accepted']}, "
+                f"quarantined {acct['quarantined']}, shed {acct['shed']}, "
+                f"lost in crash {acct['lost_in_crash']}"
+            )
+        await supervisor.stop()
+
+    asyncio.run(session())
+    print(
+        "events: "
+        + ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(events.counts().items())
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tagspin",
@@ -362,6 +496,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write machine-readable timings to this path")
     _add_common(pb)
     pb.set_defaults(func=_cmd_bench_engine)
+
+    ps = subparsers.add_parser(
+        "serve",
+        help="supervised fleet serving session over a simulated stream",
+    )
+    ps.add_argument("--deployments", type=int, default=2,
+                    help="number of supervised deployments")
+    ps.add_argument("--chunk-size", type=int, default=100,
+                    help="reports per offered ingest batch")
+    ps.add_argument("--checkpoint-every", type=int, default=2,
+                    help="auto-checkpoint every N ingest batches "
+                    "(0 disables)")
+    ps.add_argument("--checkpoint-dir", default=None,
+                    help="persist checkpoints as JSON under this directory "
+                    "(default: in-memory)")
+    ps.add_argument("--kill", action="store_true",
+                    help="crash one actor mid-stream to demonstrate the "
+                    "supervised warm restart")
+    ps.add_argument("--chaos", action="store_true",
+                    help="run the chaos suite instead; exit nonzero on any "
+                    "SLO violation")
+    ps.add_argument("--x", type=float, default=0.4, help="reader x [m]")
+    ps.add_argument("--y", type=float, default=1.9, help="reader y [m]")
+    _add_common(ps)
+    ps.set_defaults(func=_cmd_serve)
 
     return parser
 

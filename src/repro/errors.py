@@ -68,3 +68,29 @@ class DegradedServiceError(TransientError):
     failure is still data-shaped (quarantined streams, gated-out disks)
     rather than configuration-shaped.
     """
+
+
+class FixDeadlineError(TransientError):
+    """A fix exceeded its per-deployment deadline budget.
+
+    Transient: the solve was abandoned to protect the serving tier, not
+    because the data cannot produce a fix; a retry against the (possibly
+    grown) buffer may finish in time.
+    """
+
+
+class ActorUnavailableError(TransientError):
+    """A deployment actor is not currently serving (restarting or its
+    circuit breaker is open).
+
+    Transient: the supervisor restarts crashed actors and half-opens
+    tripped breakers on a cooldown; the same request later can succeed.
+    """
+
+
+class CheckpointError(PermanentError):
+    """A deployment checkpoint was missing required structure or corrupt.
+
+    Permanent for the checkpoint itself — re-reading the same bytes can
+    never succeed; the actor recovers by cold-starting instead.
+    """

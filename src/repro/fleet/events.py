@@ -1,0 +1,110 @@
+"""Structured fleet lifecycle events.
+
+Every state transition the serving tier makes — actor starts, crashes,
+restarts, breaker trips, checkpoint saves, shed reports — is recorded as
+a :class:`FleetEvent` in a bounded :class:`EventLog` rather than printed
+or silently dropped.  Operators (and the chaos harness) reason about
+recovery by replaying this log; tests assert on it instead of scraping
+output.
+
+Events carry a monotonically increasing sequence number instead of a
+wall-clock timestamp: the log's *order* is the contract, and keeping
+wall time out of the record keeps chaos runs deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional
+
+EVENT_ACTOR_STARTED = "actor-started"
+EVENT_ACTOR_STOPPED = "actor-stopped"
+EVENT_ACTOR_CRASHED = "actor-crashed"
+EVENT_ACTOR_RESTARTED = "actor-restarted"
+EVENT_BREAKER_OPENED = "breaker-opened"
+EVENT_BREAKER_HALF_OPEN = "breaker-half-open"
+EVENT_BREAKER_CLOSED = "breaker-closed"
+EVENT_CHECKPOINT_SAVED = "checkpoint-saved"
+EVENT_CHECKPOINT_RESTORED = "checkpoint-restored"
+EVENT_CHECKPOINT_CORRUPT = "checkpoint-corrupt"
+EVENT_FIX_DEADLINE = "fix-deadline-exceeded"
+EVENT_REPORTS_SHED = "reports-shed"
+EVENT_INGEST_REJECTED = "ingest-rejected"
+
+#: Default bound on retained events; old events roll off, counts persist.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One lifecycle transition of one deployment."""
+
+    seq: int
+    deployment_id: str
+    kind: str
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.seq}] {self.deployment_id} {self.kind} {extras}".strip()
+
+
+class EventLog:
+    """Bounded, subscribable record of fleet events.
+
+    The deque holds the most recent ``capacity`` events; per-kind counts
+    are kept separately and never roll off, so accounting checks stay
+    exact even after the log wraps.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._events: Deque[FleetEvent] = deque(maxlen=capacity)
+        self._counts: Dict[str, int] = {}
+        self._seq = 0
+        self._subscribers: List[Callable[[FleetEvent], None]] = []
+
+    def emit(
+        self, deployment_id: str, kind: str, **detail: object
+    ) -> FleetEvent:
+        self._seq += 1
+        event = FleetEvent(
+            seq=self._seq,
+            deployment_id=deployment_id,
+            kind=kind,
+            detail=dict(detail),
+        )
+        self._events.append(event)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[FleetEvent], None]) -> None:
+        """Register a callback invoked synchronously on every emit."""
+        self._subscribers.append(callback)
+
+    def events(
+        self,
+        deployment_id: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> List[FleetEvent]:
+        """Retained events, optionally filtered, oldest first."""
+        return [
+            event
+            for event in self._events
+            if (deployment_id is None or event.deployment_id == deployment_id)
+            and (kind is None or event.kind == kind)
+        ]
+
+    def count(self, kind: str) -> int:
+        """Lifetime count of one event kind (survives log wrap)."""
+        return self._counts.get(kind, 0)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -17,10 +17,25 @@ series' quantized geometry plus its first snapshot (one entry per
 (EPC, antenna, channel) stream), verifies the prefix *exactly* on every
 access, and rebuilds from scratch whenever the prefix no longer matches
 — which is precisely what happens when device-diversity re-referencing
-shifts ``phases[0]``, when the validator quarantines or re-orders early
-reports, or when the server's ring buffer trims the head.  Invalidation
-is therefore automatic and conservative: the accumulator never serves a
-stale matrix, the worst case is a cold rebuild.
+shifts ``phases[0]`` or when the validator quarantines or re-orders
+early reports.  Invalidation is therefore automatic and conservative:
+the accumulator never serves a stale matrix, the worst case is a cold
+rebuild.
+
+One prefix change *is* recoverable without a rebuild: the server's ring
+buffer trimming the head of a long-lived stream (``max_buffer``).  The
+trimmed series starts at a snapshot the accumulator already holds, and
+the residual matrix re-references exactly: with ``r_i`` the stored
+residual column of snapshot ``i`` relative to reference ``0``, the
+column relative to a new reference ``k`` is ``wrap(r_i - r_k)`` — both
+the measured side (``phases[i] - phases[k]``) and the model side
+(column ``i`` minus column ``k`` of the separable steering difference)
+telescope through the old reference.  :meth:`residual_matrix` detects a
+head-trimmed suffix of a stored link (same geometry, the new first
+snapshot found inside the stored arrays, the overlap bit-identical) and
+slides the stored matrices instead of rebuilding; the result is exact
+modulo 2*pi and matches a cold rebuild to float rounding (~1e-15, far
+inside the dense engines' 1e-9 equivalence budget).
 
 :class:`StreamingEngine` wraps the accumulator as a
 :class:`~repro.perf.engine.SpectrumEngine`: azimuth spectra read the
@@ -67,6 +82,7 @@ class StreamingStats:
     invalidations: int = 0
     evictions: int = 0
     columns_appended: int = 0
+    trim_rereferences: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -76,6 +92,7 @@ class StreamingStats:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "columns_appended": self.columns_appended,
+            "trim_rereferences": self.trim_rereferences,
         }
 
 
@@ -196,6 +213,68 @@ class StreamingSpectrumAccumulator:
             and np.array_equal(series.phases[:n], state.phases)
         )
 
+    # ------------------------------------------------------------------
+    # Head-trim adoption (ring-buffer trims on long-lived streams)
+    # ------------------------------------------------------------------
+    def _find_trimmed(
+        self, key: Hashable, series: SnapshotSeries
+    ) -> "Optional[tuple[Hashable, _LinkState, int]]":
+        """A stored link of which ``series`` is a head-trimmed suffix.
+
+        Candidates share the quantized geometry (the first four key
+        components); the match requires the series' first snapshot to sit
+        at index ``k > 0`` of the stored arrays with the whole overlap
+        bit-identical — the exact footprint ``max_buffer`` head-trimming
+        leaves behind.  Any tampered overlap fails the check and falls
+        through to a cold rebuild.
+        """
+        geometry = key[:4]
+        t0 = float(series.times[0])
+        for old_key in reversed(self._links):
+            if old_key[:4] != geometry:
+                continue
+            state = self._links[old_key]
+            k = int(np.searchsorted(state.times, t0))
+            if not 0 < k < state.times.size:
+                continue
+            if (
+                state.times[k] != series.times[0]
+                or state.phases[k] != series.phases[0]
+            ):
+                continue
+            overlap = state.times.size - k
+            if series.times.size < overlap:
+                continue
+            if not (
+                np.array_equal(state.times[k:], series.times[:overlap])
+                and np.array_equal(state.phases[k:], series.phases[:overlap])
+            ):
+                continue
+            return old_key, state, k
+        return None
+
+    @staticmethod
+    def _rereference(state: _LinkState, k: int) -> Dict[Hashable, np.ndarray]:
+        """Slide every stored matrix to reference column ``k``.
+
+        ``wrap(r_i - r_k)`` is the residual relative to the new reference
+        (measured and model sides both telescope through the old one);
+        the new reference column is identically zero, as in a cold build.
+        Matrices lagging behind the trim point carry no reusable columns
+        and are dropped (the lazy per-grid path rebuilds them).
+        """
+        rereferenced: Dict[Hashable, np.ndarray] = {}
+        for grid_key, matrix in state.residuals.items():
+            if matrix.shape[-1] <= k:
+                continue
+            slid = np.asarray(
+                wrap_phase_signed(matrix[..., k:] - matrix[..., k : k + 1]),
+                dtype=float,
+            )
+            slid[..., 0] = 0.0
+            rereferenced[grid_key] = slid
+        return rereferenced
+
     def residual_matrix(
         self, series: SnapshotSeries, azimuths: np.ndarray
     ) -> np.ndarray:
@@ -208,12 +287,24 @@ class StreamingSpectrumAccumulator:
             del self._links[key]
             state = None
         if state is None:
-            state = _LinkState(
-                times=np.array(series.times, dtype=float),
-                phases=np.array(series.phases, dtype=float),
-            )
-            self._links[key] = state
-            self.stats.cold_builds += 1
+            trimmed = self._find_trimmed(key, series)
+            if trimmed is not None:
+                old_key, old_state, k = trimmed
+                del self._links[old_key]
+                state = _LinkState(
+                    times=np.array(series.times, dtype=float),
+                    phases=np.array(series.phases, dtype=float),
+                    residuals=self._rereference(old_state, k),
+                )
+                self._links[key] = state
+                self.stats.trim_rereferences += 1
+            else:
+                state = _LinkState(
+                    times=np.array(series.times, dtype=float),
+                    phases=np.array(series.phases, dtype=float),
+                )
+                self._links[key] = state
+                self.stats.cold_builds += 1
         elif series.times.size > state.times.size:
             state.times = np.array(series.times, dtype=float)
             state.phases = np.array(series.phases, dtype=float)

@@ -23,6 +23,7 @@ robustness stack:
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, Optional, Tuple
@@ -44,20 +45,45 @@ from repro.robustness.validation import (
 )
 from repro.server.health import DeploymentMonitor
 from repro.server.registry import TagRegistry
-from repro.server.service import LocalizationServer, StreamKey
+from repro.server.service import (
+    LocalizationServer,
+    StreamKey,
+    validate_stream_key,
+)
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential-backoff policy for transient localization failures."""
+    """Exponential-backoff policy for transient localization failures.
+
+    With ``jitter_rng`` set, :meth:`delay` applies *full jitter*: the
+    wait is uniform in ``[0, backoff)`` instead of the deterministic
+    backoff itself.  A fleet of actors retrying in lockstep (e.g. after
+    a reader drops off and every deployment's fix starts failing at the
+    same instant) would otherwise thunder-herd the solver on a
+    synchronized cadence; full jitter decorrelates them while keeping
+    the same mean pressure decay.  Leaving ``jitter_rng`` unset keeps
+    the deterministic schedule tests rely on.
+    """
 
     max_attempts: int = 3
     backoff_base_s: float = 0.5
     backoff_factor: float = 2.0
+    #: Ceiling on the (pre-jitter) backoff; exponential growth saturates
+    #: here instead of running away on high attempt counts.
+    backoff_max_s: float = float("inf")
+    #: When set, delays are drawn uniform from [0, backoff) (full jitter).
+    jitter_rng: Optional[random.Random] = None
 
     def delay(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (1-based)."""
-        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        backoff = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter_rng is not None:
+            return self.jitter_rng.uniform(0.0, backoff)
+        return backoff
 
 
 #: Pulls additional reports for (reader_name, antenna_port, attempt);
@@ -138,8 +164,10 @@ class ResilientLocalizationServer(LocalizationServer):
         self, reader_name: str, reports: Iterable[TagReportData]
     ) -> int:
         """Validate and buffer reports; returns the number accepted."""
+        validate_stream_key(reader_name, 0)
         by_port: Dict[int, list] = {}
         for report in reports:
+            validate_stream_key(reader_name, report.antenna_port)
             by_port.setdefault(report.antenna_port, []).append(report)
         accepted = 0
         for port, port_reports in by_port.items():
@@ -157,6 +185,18 @@ class ResilientLocalizationServer(LocalizationServer):
         """Validator counters of one stream (zeros if nothing ingested)."""
         validator = self._validators.get((reader_name, antenna_port))
         return validator.stats if validator else QuarantineStats()
+
+    def all_quarantine_stats(self) -> Dict[StreamKey, QuarantineStats]:
+        """Validator counters of every stream that ever ingested.
+
+        Includes streams whose buffers were since cleared or trimmed —
+        the counters are a lifetime ledger, which is what fleet-level
+        accounting reconciliation needs.
+        """
+        return {
+            key: validator.stats
+            for key, validator in self._validators.items()
+        }
 
     # ------------------------------------------------------------------
     # Supervised queries
@@ -284,6 +324,12 @@ class ResilientLocalizationServer(LocalizationServer):
     # ------------------------------------------------------------------
     # State accessors
     # ------------------------------------------------------------------
+    def restore_degradation(
+        self, states: Dict[StreamKey, DegradationState]
+    ) -> None:
+        """Carry degradation states over from a checkpoint restore."""
+        self._states.update(states)
+
     def degradation_state(
         self, reader_name: str, antenna_port: int = 1
     ) -> DegradationState:

@@ -23,13 +23,33 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.locator import Fix2D, Fix3D
 from repro.core.pipeline import PipelineConfig, TagspinSystem
-from repro.errors import InsufficientDataError
+from repro.errors import ConfigurationError, InsufficientDataError
 from repro.hardware.llrp import ReportBatch, TagReportData
 from repro.perf.engine import EngineSpec
 from repro.server.registry import TagRegistry
 
 #: A stream is identified by (reader name, antenna port).
 StreamKey = Tuple[str, int]
+
+
+def validate_stream_key(reader_name: str, antenna_port: int) -> None:
+    """Reject stream keys that could never name a physical stream.
+
+    An empty reader name or a negative antenna port silently creates a
+    junk stream bucket that no query will ever find again; both indicate
+    a misconfigured client, not bad RF data, so they raise
+    :class:`~repro.errors.ConfigurationError` naming the value instead
+    of being quarantined.
+    """
+    if not isinstance(reader_name, str) or not reader_name.strip():
+        raise ConfigurationError(
+            f"reader_name must be a non-empty string, got {reader_name!r}"
+        )
+    if antenna_port < 0:
+        raise ConfigurationError(
+            f"antenna_port must be non-negative, got {antenna_port!r} "
+            f"(reader {reader_name!r})"
+        )
 
 
 @dataclass
@@ -75,8 +95,14 @@ class LocalizationServer:
         also see ordinary tags); the pipeline filters by registry itself.
         Returns the number of reports accepted.
         """
+        validate_stream_key(reader_name, 0)
         accepted = 0
         for report in reports:
+            if report.antenna_port < 0:
+                raise ConfigurationError(
+                    f"antenna_port must be non-negative, got "
+                    f"{report.antenna_port!r} (reader {reader_name!r})"
+                )
             key = (reader_name, report.antenna_port)
             buffer = self._streams.setdefault(key, StreamBuffer())
             buffer.reports.append(report)
@@ -89,6 +115,33 @@ class LocalizationServer:
 
     def streams(self) -> List[StreamKey]:
         return sorted(self._streams)
+
+    def snapshot_streams(self) -> Dict[StreamKey, List[TagReportData]]:
+        """Copy of every stream buffer (checkpoint capture path)."""
+        return {
+            key: list(buffer.reports)
+            for key, buffer in self._streams.items()
+        }
+
+    def restore_streams(
+        self, streams: Dict[StreamKey, List[TagReportData]]
+    ) -> int:
+        """Replace all buffers wholesale (checkpoint restore path).
+
+        Restored reports bypass per-report validation — they were
+        validated before the snapshot was taken, and re-screening would
+        falsely flag the whole window as duplicates.  Returns the number
+        of reports restored.
+        """
+        restored: Dict[StreamKey, StreamBuffer] = {}
+        for (reader_name, antenna_port), reports in streams.items():
+            validate_stream_key(reader_name, antenna_port)
+            window = list(reports)[-self.max_buffer :]
+            restored[(reader_name, antenna_port)] = StreamBuffer(window)
+        self._streams = restored
+        # Any engine stream state describes the pre-restore buffers.
+        self.system.engine.invalidate_streams()
+        return sum(len(b.reports) for b in restored.values())
 
     def stream_report_count(self, reader_name: str, antenna_port: int) -> int:
         buffer = self._streams.get((reader_name, antenna_port))

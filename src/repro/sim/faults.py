@@ -123,6 +123,41 @@ def bias_timestamps(
     return ReportBatch(transformed)
 
 
+def skew_clock(batch: ReportBatch, offset_us: int) -> ReportBatch:
+    """Shift every reader timestamp by a constant offset.
+
+    Models clock *skew* between readers sharing one deployment (each
+    reader free-runs from a different power-up instant), as opposed to
+    :func:`bias_timestamps`' proportional *drift*.  Because the disks'
+    reference phases are anchored to the deployment clock, a constant
+    offset rotates every disk's apparent phase by ``angular_speed *
+    offset`` and biases the skewed stream's fix — *unless* the offset is
+    a whole number of disk rotations, which is phase-consistent and must
+    leave fixes untouched.  The fleet chaos harness exercises both arms.
+    """
+    offset_us = int(offset_us)
+    transformed: List[TagReportData] = []
+    for report in batch.reports:
+        shifted = report.reader_timestamp_us + offset_us
+        if shifted < 0:
+            raise ConfigurationError(
+                f"offset_us={offset_us} drives reader timestamp "
+                f"{report.reader_timestamp_us} negative"
+            )
+        transformed.append(
+            TagReportData(
+                epc=report.epc,
+                antenna_port=report.antenna_port,
+                channel_index=report.channel_index,
+                reader_timestamp_us=shifted,
+                host_timestamp_us=report.host_timestamp_us,
+                phase_rad=report.phase_rad,
+                rssi_dbm=report.rssi_dbm,
+            )
+        )
+    return ReportBatch(transformed)
+
+
 def duplicate_reports(
     batch: ReportBatch,
     fraction: float,

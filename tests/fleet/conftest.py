@@ -1,0 +1,9 @@
+"""Path wiring for the fleet test helpers (no pytest-asyncio: every
+async test drives its own loop with ``asyncio.run``)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

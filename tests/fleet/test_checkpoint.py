@@ -1,0 +1,146 @@
+"""Tests for repro.fleet.checkpoint (snapshot, stores, corruption)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from fleet_helpers import FakeLocalizationServer, make_report
+
+from repro.errors import CheckpointError
+from repro.fleet.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    DeploymentCheckpoint,
+    JsonCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.robustness.diagnostics import DegradationState
+
+
+def populated_server() -> FakeLocalizationServer:
+    server = FakeLocalizationServer()
+    server.ingest("r1", [make_report(i) for i in range(5)])
+    server.ingest(
+        "r2", [make_report(i, antenna_port=2, phase=1.25) for i in range(3)]
+    )
+    server.restore_degradation({("r1", 1): DegradationState.DEGRADED})
+    return server
+
+
+class TestRoundtrip:
+    def test_capture_serialize_restore(self):
+        server = populated_server()
+        snapshot = DeploymentCheckpoint.capture("dep-1", server, seq=4)
+        revived = DeploymentCheckpoint.from_json(snapshot.to_json())
+
+        assert revived.deployment_id == "dep-1"
+        assert revived.seq == 4
+        assert revived.streams == snapshot.streams  # exact reports
+        assert revived.quarantine == snapshot.quarantine
+        assert revived.degradation == {("r1", 1): "degraded"}
+        assert revived.report_count() == 8
+
+        target = FakeLocalizationServer()
+        revived.restore_into(target)
+        assert target.snapshot_streams() == server.snapshot_streams()
+        assert target.degradation_states() == {
+            ("r1", 1): DegradationState.DEGRADED
+        }
+
+    def test_schema_field_is_versioned(self):
+        snapshot = DeploymentCheckpoint.capture(
+            "dep-1", populated_server(), seq=1
+        )
+        doc = json.loads(snapshot.to_json())
+        assert doc["schema"] == CHECKPOINT_SCHEMA == "tagspin-checkpoint/1"
+
+
+class TestCorruption:
+    def test_truncated_payload_raises(self):
+        payload = DeploymentCheckpoint.capture(
+            "dep-1", populated_server(), seq=1
+        ).to_json()
+        with pytest.raises(CheckpointError):
+            DeploymentCheckpoint.from_json(payload[: len(payload) // 2])
+
+    def test_wrong_schema_raises(self):
+        with pytest.raises(CheckpointError, match="schema"):
+            DeploymentCheckpoint.from_json(
+                json.dumps({"schema": "tagspin-checkpoint/99"})
+            )
+
+    def test_malformed_report_row_raises(self):
+        doc = json.loads(
+            DeploymentCheckpoint.capture(
+                "dep-1", populated_server(), seq=1
+            ).to_json()
+        )
+        doc["streams"][0]["reports"][0] = ["EPC", 1]  # wrong arity
+        with pytest.raises(CheckpointError, match="report row"):
+            DeploymentCheckpoint.from_json(json.dumps(doc))
+
+    def test_unknown_degradation_state_raises(self):
+        doc = json.loads(
+            DeploymentCheckpoint.capture(
+                "dep-1", populated_server(), seq=1
+            ).to_json()
+        )
+        doc["degradation"] = [
+            {"reader_name": "r1", "antenna_port": 1, "state": "on-fire"}
+        ]
+        with pytest.raises(CheckpointError):
+            DeploymentCheckpoint.from_json(json.dumps(doc))
+
+    def test_non_object_document_raises(self):
+        with pytest.raises(CheckpointError):
+            DeploymentCheckpoint.from_json("[1, 2, 3]")
+
+
+class TestMemoryStore:
+    def test_roundtrip_and_delete(self):
+        store = MemoryCheckpointStore()
+        assert store.load("dep-1") is None
+        store.save("dep-1", "payload")
+        assert store.load("dep-1") == "payload"
+        store.delete("dep-1")
+        assert store.load("dep-1") is None
+        assert store.saves == 1
+
+    def test_corrupt_truncates_stored_payload(self):
+        store = MemoryCheckpointStore()
+        payload = DeploymentCheckpoint.capture(
+            "dep-1", populated_server(), seq=1
+        ).to_json()
+        store.save("dep-1", payload)
+        store.corrupt("dep-1")
+        with pytest.raises(CheckpointError):
+            DeploymentCheckpoint.from_json(store.load("dep-1"))
+
+
+class TestJsonStore:
+    def test_roundtrip_on_disk(self, tmp_path):
+        store = JsonCheckpointStore(tmp_path / "checkpoints")
+        snapshot = DeploymentCheckpoint.capture(
+            "dep-1", populated_server(), seq=2
+        )
+        store.save("dep-1", snapshot.to_json())
+        revived = DeploymentCheckpoint.from_json(store.load("dep-1"))
+        assert revived.streams == snapshot.streams
+        store.delete("dep-1")
+        assert store.load("dep-1") is None
+        store.delete("dep-1")  # idempotent
+
+    def test_save_leaves_no_temp_litter(self, tmp_path):
+        store = JsonCheckpointStore(tmp_path)
+        store.save("dep-1", "x" * 1024)
+        store.save("dep-1", "y" * 1024)  # overwrite is atomic
+        assert store.load("dep-1") == "y" * 1024
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    @pytest.mark.parametrize("bad_id", ["", "../escape", ".hidden", "a/b"])
+    def test_unsafe_deployment_ids_rejected(self, tmp_path, bad_id):
+        store = JsonCheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.save(bad_id, "payload")

@@ -82,7 +82,7 @@ class TestAccumulator:
         assert np.array_equal(warm, cold)
 
     def test_shrunk_series_invalidates(self):
-        """A trimmed ring buffer is shorter than the stored prefix."""
+        """A pure shrink (same head, fewer snapshots) is not a trim."""
         series = make_series(azimuth=0.9, n=30)
         accumulator = StreamingSpectrumAccumulator()
         accumulator.residual_matrix(series, GRID)
@@ -154,6 +154,111 @@ class TestAccumulator:
         warm = accumulator.residual_matrix(series, GRID)
         cold = StreamingSpectrumAccumulator().residual_matrix(series, GRID)
         assert np.array_equal(warm, cold)
+
+
+def _trim(series, k):
+    """The series a ``max_buffer`` head-trim leaves behind."""
+    return dataclasses.replace(
+        series, times=series.times[k:], phases=series.phases[k:]
+    )
+
+
+class TestHeadTrimRereference:
+    """Ring-buffer head-trims slide the stored matrix; no cold rebuild."""
+
+    def _wrapped_error(self, a, b):
+        from repro.core.phase import wrap_phase_signed
+
+        return float(np.max(np.abs(wrap_phase_signed(a - b))))
+
+    def test_trim_rereferences_instead_of_cold_build(self):
+        series = make_series(azimuth=1.3, noise_std=0.1, n=60, seed=9)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(series, GRID)
+        trimmed = _trim(series, 15)
+        warm = accumulator.residual_matrix(trimmed, GRID)
+        cold = StreamingSpectrumAccumulator().residual_matrix(trimmed, GRID)
+        assert accumulator.stats.trim_rereferences == 1
+        assert accumulator.stats.cold_builds == 1  # only the original
+        assert accumulator.stats.invalidations == 0
+        assert len(accumulator) == 1  # old link replaced, not duplicated
+        assert self._wrapped_error(warm, cold) < 1e-9
+        # The new reference column is exactly zero, as in a cold build.
+        assert np.all(warm[..., 0] == 0.0)
+
+    def test_trim_plus_append_reuses_and_extends(self):
+        """The fleet's steady state: head trimmed AND tail appended."""
+        series = make_series(azimuth=0.7, noise_std=0.2, n=80, seed=4)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(_prefix(series, 60), GRID)
+        shifted = _trim(series, 20)  # drops 20 head, appends 20 tail
+        warm = accumulator.residual_matrix(shifted, GRID)
+        cold = StreamingSpectrumAccumulator().residual_matrix(shifted, GRID)
+        assert accumulator.stats.trim_rereferences == 1
+        assert accumulator.stats.cold_builds == 1
+        assert accumulator.stats.columns_appended == 20
+        assert self._wrapped_error(warm, cold) < 1e-9
+
+    def test_trimmed_spectrum_matches_reference_engine(self):
+        series = make_series(azimuth=2.0, noise_std=0.1, n=60, seed=6)
+        trimmed = _trim(series, 12)
+        engine = StreamingEngine()
+        engine.azimuth_spectrum(series, GRID, 0.14)
+        warm = engine.azimuth_spectrum(trimmed, GRID, 0.14)
+        expected = ReferenceEngine().azimuth_spectrum(trimmed, GRID, 0.14)
+        assert engine.cache_stats()["streaming"]["trim_rereferences"] == 1
+        assert np.allclose(warm.power, expected.power, atol=1e-9)
+        assert abs(warm.peak_azimuth - expected.peak_azimuth) < 1e-9
+
+    def test_tampered_overlap_still_rebuilds_cold(self):
+        """A trim candidate with an edited overlap must not be adopted."""
+        series = make_series(azimuth=1.1, noise_std=0.1, n=40, seed=3)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(series, GRID)
+        tampered = _trim(series, 10)
+        phases = tampered.phases.copy()
+        phases[5] = np.mod(phases[5] + 0.3, 2.0 * np.pi)
+        tampered = dataclasses.replace(tampered, phases=phases)
+        accumulator.residual_matrix(tampered, GRID)
+        assert accumulator.stats.trim_rereferences == 0
+        assert accumulator.stats.cold_builds == 2
+
+    def test_lagging_grid_matrix_dropped_then_lazily_rebuilt(self):
+        """A per-grid matrix entirely inside the trimmed head is dropped
+        and the lazy path rebuilds it on demand."""
+        series = make_series(azimuth=1.9, noise_std=0.05, n=50, seed=2)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(_prefix(series, 10), OTHER_GRID)
+        accumulator.residual_matrix(series, GRID)
+        trimmed = _trim(series, 20)  # OTHER_GRID's 10 columns all trimmed
+        accumulator.residual_matrix(trimmed, GRID)
+        assert accumulator.stats.trim_rereferences == 1
+        warm = accumulator.residual_matrix(trimmed, OTHER_GRID)
+        cold = StreamingSpectrumAccumulator().residual_matrix(
+            trimmed, OTHER_GRID
+        )
+        assert np.array_equal(warm, cold)  # full lazy rebuild is bit-exact
+
+    @pytest.mark.slow
+    @given(
+        trim=st.integers(1, 40),
+        append=st.integers(0, 19),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_trim_point_stays_within_budget(self, trim, append, seed):
+        """Property: wherever the trim lands, sliding == cold rebuild to
+        well inside the dense 1e-9 equivalence budget."""
+        from repro.core.phase import wrap_phase_signed
+
+        series = make_series(azimuth=0.9, noise_std=0.2, n=60, seed=seed)
+        accumulator = StreamingSpectrumAccumulator()
+        accumulator.residual_matrix(_prefix(series, 60 - append), GRID)
+        shifted = _trim(series, trim)
+        warm = accumulator.residual_matrix(shifted, GRID)
+        cold = StreamingSpectrumAccumulator().residual_matrix(shifted, GRID)
+        assert accumulator.stats.trim_rereferences == 1
+        assert float(np.max(np.abs(wrap_phase_signed(warm - cold)))) < 1e-9
 
 
 class TestStreamingEngine:

@@ -155,6 +155,43 @@ class TestRetryPolicy:
         assert policy.delay(2) == pytest.approx(1.0)
         assert policy.delay(3) == pytest.approx(2.0)
 
+    def test_backoff_saturates_at_cap(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.5, backoff_factor=2.0, backoff_max_s=1.5
+        )
+        assert policy.delay(1) == pytest.approx(0.5)
+        assert policy.delay(2) == pytest.approx(1.0)
+        assert policy.delay(3) == pytest.approx(1.5)
+        assert policy.delay(10) == pytest.approx(1.5)
+
+    def test_full_jitter_bounded_by_backoff(self):
+        """Jittered delays stay in [0, deterministic backoff)."""
+        import random
+
+        policy = RetryPolicy(
+            backoff_base_s=0.5,
+            backoff_factor=2.0,
+            jitter_rng=random.Random(42),
+        )
+        ceilings = RetryPolicy(backoff_base_s=0.5, backoff_factor=2.0)
+        for attempt in (1, 2, 3, 4):
+            for _ in range(50):
+                delay = policy.delay(attempt)
+                assert 0.0 <= delay <= ceilings.delay(attempt)
+
+    def test_full_jitter_decorrelates_a_fleet(self):
+        """Two actors with distinct RNGs never thunder-herd in lockstep;
+        the same seed reproduces the same schedule (injectable RNG)."""
+        import random
+
+        a = RetryPolicy(jitter_rng=random.Random(1))
+        b = RetryPolicy(jitter_rng=random.Random(2))
+        schedule_a = [a.delay(n) for n in (1, 2, 3)]
+        schedule_b = [b.delay(n) for n in (1, 2, 3)]
+        assert schedule_a != schedule_b
+        replay = RetryPolicy(jitter_rng=random.Random(1))
+        assert [replay.delay(n) for n in (1, 2, 3)] == schedule_a
+
     def test_retry_grows_window_until_fix(self, three_disk_scene):
         """A buffer too small for a fix succeeds after the data source
         delivers the rest of the stream on retry."""

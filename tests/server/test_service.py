@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.geometry import Point3
-from repro.errors import InsufficientDataError
+from repro.errors import ConfigurationError, InsufficientDataError
 from repro.server.service import LocalizationServer
 
 
@@ -45,6 +45,59 @@ class TestIngestion:
             LocalizationServer(
                 calibrated_scenario_2d.scene.registry, max_buffer=0
             )
+
+
+class TestIngestValidation:
+    """Junk stream keys are configuration errors, not quarantined data."""
+
+    @pytest.fixture()
+    def server(self, calibrated_scenario_2d):
+        return LocalizationServer(calibrated_scenario_2d.scene.registry)
+
+    def _report(self, antenna_port=1):
+        from repro.hardware.llrp import TagReportData
+
+        return TagReportData(
+            epc="E2-TEST",
+            antenna_port=antenna_port,
+            channel_index=0,
+            reader_timestamp_us=1_000,
+            host_timestamp_us=1_000,
+            phase_rad=1.0,
+            rssi_dbm=-60.0,
+        )
+
+    def test_empty_reader_name_rejected(self, server):
+        with pytest.raises(ConfigurationError, match="reader_name"):
+            server.ingest("", [self._report()])
+
+    def test_whitespace_reader_name_rejected(self, server):
+        with pytest.raises(ConfigurationError, match="'   '"):
+            server.ingest("   ", [self._report()])
+
+    def test_empty_reader_name_rejected_even_without_reports(self, server):
+        """The junk key is wrong regardless of payload."""
+        with pytest.raises(ConfigurationError):
+            server.ingest("", [])
+
+    def test_negative_antenna_port_rejected_with_value(self, server):
+        with pytest.raises(ConfigurationError, match="-3"):
+            server.ingest("reader-1", [self._report(antenna_port=-3)])
+        assert server.streams() == []  # no junk bucket left behind
+
+    def test_resilient_server_rejects_before_creating_validators(
+        self, calibrated_scenario_2d
+    ):
+        from repro.server.resilience import ResilientLocalizationServer
+
+        server = ResilientLocalizationServer(
+            calibrated_scenario_2d.scene.registry
+        )
+        with pytest.raises(ConfigurationError, match="-1"):
+            server.ingest("reader-1", [self._report(antenna_port=-1)])
+        assert server.quarantine_stats("reader-1", -1).received == 0
+        with pytest.raises(ConfigurationError, match="reader_name"):
+            server.ingest("", [self._report()])
 
 
 class TestQueries:

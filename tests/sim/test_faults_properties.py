@@ -195,6 +195,149 @@ def test_chain_composition_order(batch, epc, seed):
 
 
 # ----------------------------------------------------------------------
+# Chained-fault accounting (ISSUE 6 satellite): however transport faults
+# compose, the total number of offered reports must stay derivable —
+# shedding/quarantine accounting downstream relies on it.
+# ----------------------------------------------------------------------
+def _multiset(reports):
+    counts = {}
+    for r in reports:
+        counts[r] = counts.get(r, 0) + 1
+    return counts
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    batch=report_batches(),
+    fraction=st.floats(0.0, 1.0),
+    seed=seeds,
+    shuffle_first=st.booleans(),
+)
+def test_duplicate_shuffle_chain_preserves_accounting(
+    batch, fraction, seed, shuffle_first
+):
+    """Property: any duplicate/shuffle composition keeps exact accounting.
+
+    Every delivered report is one of the originals, each original appears
+    1 or 2 times (never 0 — neither fault drops), and the total equals
+    the original count plus the number of duplications, in either order.
+    """
+    rng = np.random.default_rng(seed)
+    if shuffle_first:
+        result = chain(
+            batch,
+            lambda b: shuffle_reports(b, rng),
+            lambda b: duplicate_reports(b, fraction, rng),
+        )
+    else:
+        result = chain(
+            batch,
+            lambda b: duplicate_reports(b, fraction, rng),
+            lambda b: shuffle_reports(b, rng),
+        )
+    before = _multiset(batch.reports)
+    after = _multiset(result.reports)
+    assert set(after) == set(before)  # nothing invented, nothing dropped
+    duplicated = 0
+    for report, count in after.items():
+        base = before[report]
+        assert base <= count <= 2 * base
+        duplicated += count - base
+    assert len(result) == len(batch) + duplicated
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch=report_batches(), fraction=st.floats(0.0, 1.0), seed=seeds)
+def test_duplicate_then_shuffle_order_matters_but_not_totals(
+    batch, fraction, seed
+):
+    """The two composition orders deliver different sequences (chain is
+    left-to-right, not commutative) yet identical multisets and totals
+    when driven by the same RNG stream."""
+    rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+    dup_then_shuffle = chain(
+        batch,
+        lambda b: duplicate_reports(b, fraction, rng_a),
+        lambda b: shuffle_reports(b, rng_a),
+    )
+    shuffle_then_dup = chain(
+        batch,
+        lambda b: shuffle_reports(b, rng_b),
+        lambda b: duplicate_reports(b, fraction, rng_b),
+    )
+    # Totals agree run-to-run only in the degenerate fractions; the
+    # multiset-vs-original invariant must hold for both orders always.
+    for result in (dup_then_shuffle, shuffle_then_dup):
+        assert set(_multiset(result.reports)) <= set(_multiset(batch.reports))
+        assert len(batch) <= len(result) <= 2 * len(batch)
+    if fraction == 0.0:
+        assert len(dup_then_shuffle) == len(shuffle_then_dup) == len(batch)
+    if fraction == 1.0:
+        assert (
+            len(dup_then_shuffle) == len(shuffle_then_dup) == 2 * len(batch)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=report_batches(),
+    epc=st.sampled_from(EPCS),
+    fraction=st.floats(0.0, 1.0),
+    seed=seeds,
+)
+def test_three_fault_chain_accounting(batch, epc, fraction, seed):
+    """silence -> duplicate -> shuffle: offered-report accounting stays
+    exact through a three-deep chain (total = survivors + duplications)."""
+    rng = np.random.default_rng(seed)
+    result = chain(
+        batch,
+        lambda b: silence_tag(b, epc),
+        lambda b: duplicate_reports(b, fraction, rng),
+        lambda b: shuffle_reports(b, rng),
+    )
+    survivors = [r for r in batch.reports if r.epc != epc]
+    after = _multiset(result.reports)
+    assert set(after) <= set(_multiset(survivors))
+    assert len(survivors) <= len(result) <= 2 * len(survivors)
+    assert all(r.epc != epc for r in result.reports)
+
+
+@settings(max_examples=50, deadline=None)
+@given(batch=report_batches(), offset=st.integers(0, 10_000_000))
+def test_skew_clock_shifts_reader_time_only(batch, offset):
+    """skew_clock shifts every reader timestamp by the same constant and
+    touches nothing else."""
+    from repro.sim.faults import skew_clock
+
+    skewed = skew_clock(batch, offset)
+    assert len(skewed) == len(batch)
+    for before, after in zip(batch.reports, skewed.reports):
+        assert after.reader_timestamp_us == before.reader_timestamp_us + offset
+        assert after.host_timestamp_us == before.host_timestamp_us
+        assert after.phase_rad == before.phase_rad
+        assert after.epc == before.epc
+
+
+def test_skew_clock_rejects_negative_result():
+    import pytest
+
+    from repro.errors import ConfigurationError
+    from repro.sim.faults import skew_clock
+
+    report = TagReportData(
+        epc="E2-SPIN-1",
+        antenna_port=1,
+        channel_index=0,
+        reader_timestamp_us=100,
+        host_timestamp_us=100,
+        phase_rad=1.0,
+        rssi_dbm=-60.0,
+    )
+    with pytest.raises(ConfigurationError):
+        skew_clock(ReportBatch([report]), -200)
+
+
+# ----------------------------------------------------------------------
 # bias_timestamps regression (ISSUE 1 satellite): int() truncation used
 # to swallow sub-ppm drifts for small timestamps entirely.
 # ----------------------------------------------------------------------
