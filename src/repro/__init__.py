@@ -54,8 +54,15 @@ from repro.errors import (
     TagspinError,
     TransientError,
     UnknownTagError,
+    WireProtocolError,
 )
 from repro.hardware.llrp import ReportBatch, ROSpec, TagReportData
+from repro.hardware.llrp_columnar import ColumnarReportBatch
+from repro.hardware.llrp_stream import (
+    FrameAccumulator,
+    StreamingLLRPParser,
+    StreamStats,
+)
 from repro.hardware.reader import SimulatedReader, SpinningTagUnit, StaticTagUnit
 from repro.hardware.rotator import Mount, SpinningDisk, horizontal_disk, vertical_disk
 from repro.hardware.tags import TABLE_I, TagInstance, TagModel, make_tag
@@ -88,6 +95,7 @@ from repro.sim.planning import (
     recommend_center_distance,
 )
 from repro.sim.scene import DeploymentSpec, Scene, build_scene
+from repro.sim.wire_recording import WireRecording
 
 __version__ = "1.0.0"
 
@@ -111,6 +119,7 @@ __all__ = [
     "DeploymentSpec",
     "DiskExclusion",
     "DiskQuality",
+    "ColumnarReportBatch",
     "ErrorCollection",
     "ErrorSample",
     "ErrorSummary",
@@ -118,6 +127,7 @@ __all__ = [
     "Fix3D",
     "FixDiagnostics",
     "FourierSeries",
+    "FrameAccumulator",
     "GatingPolicy",
     "HealthReport",
     "HyperbolicTagLocator",
@@ -149,6 +159,8 @@ __all__ = [
     "SpinningTagRecord",
     "SpinningTagUnit",
     "StaticTagUnit",
+    "StreamStats",
+    "StreamingLLRPParser",
     "TABLE_I",
     "TagInstance",
     "TagModel",
@@ -163,6 +175,8 @@ __all__ = [
     "TransientError",
     "UnknownTagError",
     "ValidationConfig",
+    "WireProtocolError",
+    "WireRecording",
     "accuracy_map",
     "build_scene",
     "compute_q_profile",

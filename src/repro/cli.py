@@ -401,6 +401,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.geometry import Point3
+    from repro.fleet.wire_ingest import replay_into_supervisor
+    from repro.sim.wire_recording import WireRecording
+
+    if args.record:
+        scenario = paper_default_scenario(seed=args.seed)
+        scenario.run_orientation_prelude()
+        truth = Point3(args.x, args.y, 0.0)
+        batch, _reader = scenario.collect(truth)
+        recording = WireRecording.capture(
+            batch,
+            list(scenario.scene.registry),
+            truth=truth,
+            label=f"paper-default seed={args.seed}",
+        )
+        recording.save(args.path)
+        print(f"recorded  : {args.path}")
+        print(f"frames    : {len(recording)}")
+        print(f"reports   : {len(batch.reports)}")
+        print(f"wire bytes: {recording.total_bytes}")
+        print(f"duration  : {recording.duration_s:.2f} s captured")
+        return 0
+
+    recording = WireRecording.load(args.path)
+    label = recording.label or "(unlabelled)"
+    print(f"replaying : {args.path} [{label}]")
+    print(
+        f"frames    : {len(recording)} "
+        f"({recording.total_bytes} wire bytes, "
+        f"{recording.duration_s:.2f} s captured, {args.speed:g}x)"
+    )
+    result = asyncio.run(
+        replay_into_supervisor(
+            recording,
+            speed=args.speed,
+            decode=args.decode,
+            fragment_bytes=args.fragment,
+        )
+    )
+    stats = result.stream_stats
+    print(
+        f"ingested  : {result.reports_offered} reports in "
+        f"{stats['batches']} batches ({args.decode} decode); "
+        f"{stats['resyncs']} resyncs, {stats['bytes_skipped']} "
+        f"bytes skipped"
+    )
+    fix = result.fix
+    print(f"estimate  : ({fix.position.x:.3f}, {fix.position.y:.3f}) m")
+    if recording.truth is not None:
+        truth2 = recording.truth.horizontal()
+        print(f"recorded  : ({truth2.x:.3f}, {truth2.y:.3f}) m truth")
+        print(f"error     : {result.error_m * 100:.2f} cm")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tagspin",
@@ -521,6 +579,29 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--y", type=float, default=1.9, help="reader y [m]")
     _add_common(ps)
     ps.set_defaults(func=_cmd_serve)
+
+    pr = subparsers.add_parser(
+        "replay",
+        help="capture or replay a binary wire recording through the fleet",
+    )
+    pr.add_argument("path", help="wire recording file (.tswire)")
+    pr.add_argument("--record", action="store_true",
+                    help="simulate a session and capture it to PATH "
+                    "instead of replaying")
+    pr.add_argument("--speed", type=float, default=100.0,
+                    help="replay pacing multiple of the captured timing "
+                    "(1-1000x typical)")
+    pr.add_argument("--decode", choices=("columnar", "object"),
+                    default="columnar", help="wire decode path")
+    pr.add_argument("--fragment", type=int, default=1400,
+                    help="split frames into writes of this many bytes "
+                    "to exercise reassembly (MTU-ish default)")
+    pr.add_argument("--x", type=float, default=0.4,
+                    help="reader x [m] when recording")
+    pr.add_argument("--y", type=float, default=1.9,
+                    help="reader y [m] when recording")
+    _add_common(pr)
+    pr.set_defaults(func=_cmd_replay)
 
     return parser
 

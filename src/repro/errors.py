@@ -41,6 +41,23 @@ class ConfigurationError(PermanentError):
     """A scenario, registry or hardware object was configured inconsistently."""
 
 
+class WireProtocolError(ConfigurationError):
+    """A binary LLRP stream violated the wire format.
+
+    Subclasses :class:`ConfigurationError` so existing handlers keep
+    catching it, and carries the absolute byte offset of the violation
+    (``offset``, or ``None`` when the position is unknown) so transport
+    diagnostics can point at the exact corrupt byte instead of the
+    whole stream.
+    """
+
+    def __init__(self, message: str, offset: "int | None" = None) -> None:
+        if offset is not None:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
 class InsufficientDataError(TransientError):
     """Not enough tag reads were available to run an algorithm."""
 

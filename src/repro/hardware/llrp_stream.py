@@ -1,0 +1,273 @@
+"""Streaming LLRP frame reassembly for TCP ingest.
+
+A reader streams LLRP messages over TCP with no alignment guarantee:
+one ``recv`` may hold half a header, three frames and the first byte of
+a fourth.  :class:`FrameAccumulator` turns that arbitrary chunking back
+into whole frames — feeding it the same byte stream split at *any*
+fragmentation yields the identical frame sequence (property-tested in
+``tests/hardware/test_wire_properties.py``).
+
+Corruption handling is explicit and typed.  Every surfaced fault is a
+:class:`~repro.errors.WireProtocolError` carrying the absolute byte
+offset of the violation in the stream; the accumulator never raises a
+bare ``struct.error`` and never hangs on garbage.  Two policies:
+
+* ``on_error="raise"`` (default) — fail fast on the first corrupt
+  header; the transport should drop the connection.
+* ``on_error="resync"`` — skip forward byte-by-byte to the next
+  plausible frame header (valid version bits, known message type, sane
+  length), counting every skipped byte in :class:`StreamStats`.  This
+  is how long-lived capture sessions survive a single mangled frame.
+
+:class:`StreamingLLRPParser` stacks the decoder on top: it reassembles
+frames, skips non-``RO_ACCESS_REPORT`` message types (keepalives and
+friends — counted, never fatal) and yields decoded batches in either
+representation — ``TagReportData`` objects or columnar
+:class:`~repro.hardware.llrp_columnar.ColumnarReportBatch` arrays.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.hardware.llrp import ReportBatch
+from repro.hardware.llrp_columnar import (
+    ColumnarReportBatch,
+    decode_ro_access_report_columnar,
+)
+from repro.hardware.llrp_wire import (
+    _VERSION,
+    MSG_RO_ACCESS_REPORT,
+    decode_message_header,
+    decode_ro_access_report,
+)
+
+#: Frames above this are rejected as corrupt rather than buffered — a
+#: mangled length field must never make the accumulator hoard memory.
+DEFAULT_MAX_FRAME_BYTES = 1 << 24  # 16 MiB
+
+_HEADER_LEN = 10
+
+
+@dataclass
+class StreamStats:
+    """Counters of one accumulator/parser instance."""
+
+    bytes_fed: int = 0
+    frames: int = 0
+    #: Frames whose message type the parser does not decode (skipped).
+    frames_skipped: int = 0
+    #: Resync events (one per corrupt region recovered from).
+    resyncs: int = 0
+    #: Bytes discarded while scanning for the next plausible header.
+    bytes_skipped: int = 0
+    batches: int = 0
+    reports: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "bytes_fed": self.bytes_fed,
+            "frames": self.frames,
+            "frames_skipped": self.frames_skipped,
+            "resyncs": self.resyncs,
+            "bytes_skipped": self.bytes_skipped,
+            "batches": self.batches,
+            "reports": self.reports,
+        }
+
+
+def _plausible_header(buffer: memoryview, offset: int, max_frame: int) -> bool:
+    """Whether ``buffer[offset:]`` starts a credible LLRP frame header.
+
+    Deliberately the *same* predicate :meth:`FrameAccumulator._next_frame`
+    applies at a frame base (version bits + length bounds) — if the two
+    disagreed, the emitted frame sequence after a resync would depend on
+    how the stream happened to be chunked.
+    """
+    if offset + _HEADER_LEN > len(buffer):
+        return False
+    header_word, length = struct.unpack_from(">HI", buffer, offset)
+    if (header_word >> 10) & 0x7 != _VERSION:
+        return False
+    return _HEADER_LEN <= length <= max_frame
+
+
+class FrameAccumulator:
+    """Reassembles whole LLRP frames from arbitrary TCP chunk fragments.
+
+    Feed it ``bytes`` in any fragmentation; it returns every frame that
+    completed, buffering the remainder.  The emitted frame sequence is
+    invariant under re-chunking of the same stream.
+    """
+
+    def __init__(
+        self,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        on_error: str = "raise",
+        stats: Optional[StreamStats] = None,
+    ) -> None:
+        if max_frame_bytes < _HEADER_LEN:
+            raise ConfigurationError(
+                f"max_frame_bytes must be at least {_HEADER_LEN}, "
+                f"got {max_frame_bytes}"
+            )
+        if on_error not in ("raise", "resync"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'resync', got {on_error!r}"
+            )
+        self.max_frame_bytes = max_frame_bytes
+        self.on_error = on_error
+        self.stats = stats if stats is not None else StreamStats()
+        self._buffer = bytearray()
+        #: Absolute stream offset of ``self._buffer[0]``.
+        self._base = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of their frame."""
+        return len(self._buffer)
+
+    @property
+    def stream_offset(self) -> int:
+        """Absolute offset of the next unconsumed byte in the stream."""
+        return self._base
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Absorb one chunk; returns every frame completed by it."""
+        self.stats.bytes_fed += len(chunk)
+        self._buffer.extend(chunk)
+        frames: List[bytes] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[bytes]:
+        buffer = self._buffer
+        if len(buffer) < _HEADER_LEN:
+            return None
+        try:
+            _msg_type, length, _mid = decode_message_header(
+                bytes(buffer[:_HEADER_LEN]), self._base
+            )
+            if length > self.max_frame_bytes:
+                raise WireProtocolError(
+                    f"LLRP message length {length} exceeds the "
+                    f"{self.max_frame_bytes}-byte frame cap",
+                    offset=self._base,
+                )
+        except WireProtocolError:
+            if self.on_error == "raise":
+                raise
+            self._resync()
+            return self._next_frame()
+        if len(buffer) < length:
+            return None
+        frame = bytes(buffer[:length])
+        del buffer[:length]
+        self._base += length
+        self.stats.frames += 1
+        return frame
+
+    def _resync(self) -> None:
+        """Skip to the next plausible header (``on_error='resync'``)."""
+        view = memoryview(self._buffer)
+        skip = len(self._buffer)
+        for offset in range(1, len(self._buffer) - _HEADER_LEN + 1):
+            if _plausible_header(view, offset, self.max_frame_bytes):
+                skip = offset
+                break
+        view.release()
+        # Keep a header's worth of tail bytes: a plausible header may
+        # still be forming at the very end of the buffer.
+        if skip == len(self._buffer):
+            skip = max(1, len(self._buffer) - _HEADER_LEN + 1)
+        del self._buffer[:skip]
+        self._base += skip
+        self.stats.resyncs += 1
+        self.stats.bytes_skipped += skip
+
+    def close(self) -> None:
+        """Declare end-of-stream; raises if a partial frame was pending."""
+        if self._buffer:
+            pending = len(self._buffer)
+            if self.on_error == "resync":
+                self.stats.bytes_skipped += pending
+                self._base += pending
+                self._buffer.clear()
+                return
+            raise WireProtocolError(
+                f"stream ended mid-frame with {pending} pending byte(s)",
+                offset=self._base,
+            )
+
+
+class StreamingLLRPParser:
+    """Frame reassembly plus RO_ACCESS_REPORT decoding in one object.
+
+    ``feed`` returns object batches; ``feed_columnar`` returns columnar
+    ones.  A single parser instance must stick to one representation per
+    stream only by convention — both paths share the accumulator, so
+    mixing them mid-stream is safe, just unusual.
+    """
+
+    def __init__(
+        self,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        on_error: str = "raise",
+    ) -> None:
+        self.stats = StreamStats()
+        self.accumulator = FrameAccumulator(
+            max_frame_bytes=max_frame_bytes,
+            on_error=on_error,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _frames(self, chunk: bytes) -> List[Tuple[bytes, int]]:
+        """Completed RO_ACCESS_REPORT frames with their stream offsets."""
+        out: List[Tuple[bytes, int]] = []
+        offset = self.accumulator.stream_offset
+        for frame in self.accumulator.feed(chunk):
+            frame_offset = offset
+            offset += len(frame)
+            message_type, _length, _mid = decode_message_header(
+                frame, frame_offset
+            )
+            if message_type != MSG_RO_ACCESS_REPORT:
+                self.stats.frames_skipped += 1
+                continue
+            out.append((frame, frame_offset))
+        return out
+
+    def feed(self, chunk: bytes) -> List[Tuple[int, ReportBatch]]:
+        """Decode every batch completed by ``chunk`` (object path)."""
+        batches: List[Tuple[int, ReportBatch]] = []
+        for frame, frame_offset in self._frames(chunk):
+            message_id, batch = decode_ro_access_report(frame, frame_offset)
+            self.stats.batches += 1
+            self.stats.reports += len(batch)
+            batches.append((message_id, batch))
+        return batches
+
+    def feed_columnar(
+        self, chunk: bytes
+    ) -> List[Tuple[int, ColumnarReportBatch]]:
+        """Decode every batch completed by ``chunk`` (columnar path)."""
+        batches: List[Tuple[int, ColumnarReportBatch]] = []
+        for frame, frame_offset in self._frames(chunk):
+            message_id, cols = decode_ro_access_report_columnar(
+                frame, frame_offset
+            )
+            self.stats.batches += 1
+            self.stats.reports += len(cols)
+            batches.append((message_id, cols))
+        return batches
+
+    def close(self) -> None:
+        self.accumulator.close()

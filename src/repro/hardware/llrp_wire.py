@@ -24,7 +24,7 @@ import math
 import struct
 from typing import List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WireProtocolError
 from repro.hardware.llrp import ReportBatch, TagReportData
 
 #: LLRP version 1 in the header's version bits.
@@ -49,6 +49,17 @@ CUSTOM_SUBTYPE_PHASE = 66
 #: Phase is reported in 1/4096 of a full circle (Impinj convention).
 PHASE_UNITS = 4096
 
+#: Human-readable parameter names for wire diagnostics.
+PARAM_NAMES = {
+    PARAM_TAG_REPORT_DATA: "TagReportData",
+    PARAM_EPC_96: "EPC-96",
+    PARAM_ANTENNA_ID: "AntennaID",
+    PARAM_PEAK_RSSI: "PeakRSSI",
+    PARAM_CHANNEL_INDEX: "ChannelIndex",
+    PARAM_FIRST_SEEN_UTC: "FirstSeenTimestampUTC",
+    PARAM_CUSTOM: "Custom",
+}
+
 
 def _tlv(param_type: int, body: bytes) -> bytes:
     """Encode one TLV parameter: 16-bit type, 16-bit total length."""
@@ -56,25 +67,66 @@ def _tlv(param_type: int, body: bytes) -> bytes:
     return struct.pack(">HH", param_type & 0x3FF, length) + body
 
 
-def _read_tlv(buffer: bytes, offset: int) -> Tuple[int, bytes, int]:
-    """Decode one TLV at ``offset``; returns (type, body, next_offset)."""
+def _read_tlv(
+    buffer: bytes, offset: int, base_offset: int = 0
+) -> Tuple[int, bytes, int]:
+    """Decode one TLV at ``offset``; returns (type, body, next_offset).
+
+    ``base_offset`` is the absolute stream position of ``buffer[0]`` so
+    diagnostics can name the corrupt byte in the original stream.
+    """
     if offset + 4 > len(buffer):
-        raise ConfigurationError("truncated LLRP parameter header")
+        raise WireProtocolError(
+            "truncated LLRP parameter header", offset=base_offset + offset
+        )
     param_type, length = struct.unpack_from(">HH", buffer, offset)
     param_type &= 0x3FF
     if length < 4 or offset + length > len(buffer):
-        raise ConfigurationError("corrupt LLRP parameter length")
+        raise WireProtocolError(
+            f"corrupt LLRP parameter length {length} for parameter "
+            f"{PARAM_NAMES.get(param_type, param_type)!r}",
+            offset=base_offset + offset,
+        )
     return param_type, buffer[offset + 4 : offset + length], offset + length
 
 
+def _unpack_param(
+    fmt: str, body: bytes, param_type: int, offset: int
+) -> tuple:
+    """``struct.unpack`` with wire-typed errors instead of ``struct.error``.
+
+    A short (or overlong) parameter body is a framing fault of the
+    stream, not a programming error: name the parameter and its byte
+    offset so the transport layer can log exactly what was corrupt.
+    """
+    expected = struct.calcsize(fmt)
+    if len(body) != expected:
+        raise WireProtocolError(
+            f"truncated {PARAM_NAMES.get(param_type, param_type)!r} "
+            f"parameter body: expected {expected} bytes, got {len(body)}",
+            offset=offset,
+        )
+    return struct.unpack(fmt, body)
+
+
 def encode_phase(phase_rad: float) -> int:
-    """Quantize a phase [rad] to Impinj's 12-bit units."""
+    """Quantize a phase [rad] to Impinj's 12-bit units.
+
+    A subsequent :func:`decode_phase` recovers the angle to within half a
+    quantization step: the circular round-trip error is bounded by
+    ``pi / PHASE_UNITS`` (= pi/4096 ~ 7.7e-4 rad).
+    """
     units = int(round(phase_rad / (2.0 * math.pi) * PHASE_UNITS))
     return units % PHASE_UNITS
 
 
 def decode_phase(units: int) -> float:
-    """Convert 12-bit phase units back to radians in [0, 2*pi)."""
+    """Convert 12-bit phase units back to radians in [0, 2*pi).
+
+    Together with :func:`encode_phase` this is measurably lossy but
+    bounded: ``|wrap(decode(encode(phase)) - phase)| <= pi / PHASE_UNITS``
+    (half a 2*pi/4096 quantization step), far below COTS phase noise.
+    """
     return (units % PHASE_UNITS) * 2.0 * math.pi / PHASE_UNITS
 
 
@@ -111,8 +163,13 @@ def encode_tag_report(report: TagReportData) -> bytes:
     return _tlv(PARAM_TAG_REPORT_DATA, body)
 
 
-def decode_tag_report(body: bytes) -> TagReportData:
-    """Decode the body of one TagReportData TLV."""
+def decode_tag_report(body: bytes, base_offset: int = 0) -> TagReportData:
+    """Decode the body of one TagReportData TLV.
+
+    ``base_offset`` is the absolute stream position of ``body[0]``; any
+    framing fault is raised as :class:`~repro.errors.WireProtocolError`
+    naming the offending parameter and byte offset.
+    """
     epc = ""
     antenna = channel = 0
     rssi = 0.0
@@ -120,28 +177,48 @@ def decode_tag_report(body: bytes) -> TagReportData:
     phase = 0.0
     offset = 0
     while offset < len(body):
-        param_type, param_body, offset = _read_tlv(body, offset)
+        param_offset = base_offset + offset
+        param_type, param_body, offset = _read_tlv(body, offset, base_offset)
         if param_type == PARAM_EPC_96:
             epc = param_body.hex().upper()
         elif param_type == PARAM_ANTENNA_ID:
-            (antenna,) = struct.unpack(">H", param_body)
+            (antenna,) = _unpack_param(
+                ">H", param_body, param_type, param_offset
+            )
         elif param_type == PARAM_PEAK_RSSI:
-            (raw,) = struct.unpack(">b", param_body)
+            (raw,) = _unpack_param(
+                ">b", param_body, param_type, param_offset
+            )
             rssi = float(raw)
         elif param_type == PARAM_CHANNEL_INDEX:
-            (channel,) = struct.unpack(">H", param_body)
-        elif param_type == PARAM_FIRST_SEEN_UTC:
-            (reader_us,) = struct.unpack(">Q", param_body)
-        elif param_type == PARAM_CUSTOM:
-            vendor, subtype, units, host_us = struct.unpack(
-                ">IIHQ", param_body
+            (channel,) = _unpack_param(
+                ">H", param_body, param_type, param_offset
             )
+        elif param_type == PARAM_FIRST_SEEN_UTC:
+            (reader_us,) = _unpack_param(
+                ">Q", param_body, param_type, param_offset
+            )
+        elif param_type == PARAM_CUSTOM:
+            if len(param_body) < 8:
+                raise WireProtocolError(
+                    f"truncated 'Custom' parameter body: expected at "
+                    f"least 8 bytes, got {len(param_body)}",
+                    offset=param_offset,
+                )
+            vendor, subtype = struct.unpack_from(">II", param_body, 0)
             if vendor != IMPINJ_VENDOR_ID or subtype != CUSTOM_SUBTYPE_PHASE:
+                # Foreign vendor extensions carry arbitrary payloads and
+                # are skipped wholesale (forward compatibility).
                 continue
+            _vendor, _subtype, units, host_us = _unpack_param(
+                ">IIHQ", param_body, param_type, param_offset
+            )
             phase = decode_phase(units)
         # Unknown parameters are skipped (forward compatibility).
     if not epc:
-        raise ConfigurationError("TagReportData without an EPC-96 parameter")
+        raise WireProtocolError(
+            "TagReportData without an EPC-96 parameter", offset=base_offset
+        )
     return TagReportData(
         epc=epc,
         antenna_port=antenna,
@@ -163,27 +240,62 @@ def encode_ro_access_report(
     return struct.pack(">HII", header_word, length, message_id) + body
 
 
-def decode_ro_access_report(data: bytes) -> Tuple[int, ReportBatch]:
-    """Parse an RO_ACCESS_REPORT frame; returns (message_id, batch)."""
+def decode_message_header(
+    data: bytes, base_offset: int = 0
+) -> Tuple[int, int, int]:
+    """Validate a 10-byte LLRP header; returns (type, length, message_id).
+
+    Checks only what every frame must satisfy regardless of message type
+    (version bits, minimum length) so the streaming layer can frame
+    messages it does not decode.  Raises
+    :class:`~repro.errors.WireProtocolError` with the absolute stream
+    offset on violation.
+    """
     if len(data) < 10:
-        raise ConfigurationError("truncated LLRP message header")
+        raise WireProtocolError(
+            "truncated LLRP message header", offset=base_offset
+        )
     header_word, length, message_id = struct.unpack_from(">HII", data, 0)
-    message_type = header_word & 0x3FF
     version = (header_word >> 10) & 0x7
     if version != _VERSION:
-        raise ConfigurationError(f"unsupported LLRP version {version}")
+        raise WireProtocolError(
+            f"unsupported LLRP version {version}", offset=base_offset
+        )
+    if length < 10:
+        raise WireProtocolError(
+            f"LLRP message length {length} below the 10-byte header",
+            offset=base_offset,
+        )
+    return header_word & 0x3FF, length, message_id
+
+
+def decode_ro_access_report(
+    data: bytes, base_offset: int = 0
+) -> Tuple[int, ReportBatch]:
+    """Parse an RO_ACCESS_REPORT frame; returns (message_id, batch)."""
+    message_type, length, message_id = decode_message_header(
+        data, base_offset
+    )
     if message_type != MSG_RO_ACCESS_REPORT:
-        raise ConfigurationError(
-            f"expected RO_ACCESS_REPORT, got message type {message_type}"
+        raise WireProtocolError(
+            f"expected RO_ACCESS_REPORT, got message type {message_type}",
+            offset=base_offset,
         )
     if length != len(data):
-        raise ConfigurationError("LLRP message length mismatch")
+        raise WireProtocolError(
+            f"LLRP message length mismatch: header says {length}, "
+            f"frame holds {len(data)} bytes",
+            offset=base_offset,
+        )
     reports: List[TagReportData] = []
     offset = 10
     while offset < len(data):
-        param_type, body, offset = _read_tlv(data, offset)
+        body_offset = offset + 4
+        param_type, body, offset = _read_tlv(data, offset, base_offset)
         if param_type == PARAM_TAG_REPORT_DATA:
-            reports.append(decode_tag_report(body))
+            reports.append(
+                decode_tag_report(body, base_offset + body_offset)
+            )
     return message_id, ReportBatch(reports)
 
 
@@ -194,9 +306,13 @@ def split_stream(data: bytes) -> List[bytes]:
     while offset + 10 <= len(data):
         _header, length, _mid = struct.unpack_from(">HII", data, offset)
         if length < 10 or offset + length > len(data):
-            raise ConfigurationError("corrupt frame in LLRP stream")
+            raise WireProtocolError(
+                "corrupt frame in LLRP stream", offset=offset
+            )
         frames.append(data[offset : offset + length])
         offset += length
     if offset != len(data):
-        raise ConfigurationError("trailing bytes after last LLRP frame")
+        raise WireProtocolError(
+            "trailing bytes after last LLRP frame", offset=offset
+        )
     return frames

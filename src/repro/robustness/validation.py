@@ -32,11 +32,16 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Set, Tuple
+
+import numpy as np
 
 from repro.constants import NUM_CHANNELS
 from repro.core.phase import wrap_phase, wrap_phase_signed
 from repro.hardware.llrp import TagReportData
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hardware->robustness)
+    from repro.hardware.llrp_columnar import ColumnarReportBatch
 
 TWO_PI = 2.0 * math.pi
 
@@ -164,6 +169,76 @@ class ReportValidator:
                 screened.append(report)
         screened.sort(key=lambda r: r.reader_timestamp_us)
         if self.config.repair_pi_slips:
+            screened = self._repair_pi_slips(screened)
+        self.stats.accepted += len(screened)
+        return screened
+
+    def process_columnar(
+        self, cols: "ColumnarReportBatch"
+    ) -> List[TagReportData]:
+        """Columnar fast screen; identical output and stats to :meth:`process`.
+
+        The four stateless range screens (timestamp, channel, phase,
+        RSSI) run as vectorized masks over the columns — with the same
+        precedence as :meth:`_screen`, so every rejected report lands in
+        the same counter bucket.  Only the survivors are materialized as
+        objects for the stateful screens (dedup, ordering watermark,
+        pi-slip repair), which must see reports one at a time in arrival
+        order.
+        """
+        cfg = self.config
+        n = len(cols)
+        self.stats.received += n
+        if n == 0:
+            return []
+        # Unsigned timestamp columns (wire decode) cannot be negative.
+        def _negative(column: np.ndarray) -> np.ndarray:
+            if column.dtype.kind == "u":
+                return np.zeros(column.shape, dtype=bool)
+            return column < 0
+
+        bad_ts = _negative(cols.reader_timestamp_us) | _negative(
+            cols.host_timestamp_us
+        )
+        self.stats.bad_timestamp += int(bad_ts.sum())
+        alive = ~bad_ts
+        bad_channel = alive & ~(
+            (cols.channel_index >= 0)
+            & (cols.channel_index < cfg.num_channels)
+        )
+        self.stats.bad_channel += int(bad_channel.sum())
+        alive &= ~bad_channel
+        bad_phase = alive & ~(
+            np.isfinite(cols.phase_rad)
+            & (cols.phase_rad >= 0.0)
+            & (cols.phase_rad < cfg.max_phase_rad)
+        )
+        self.stats.phase_out_of_range += int(bad_phase.sum())
+        alive &= ~bad_phase
+        bad_rssi = alive & ~(
+            np.isfinite(cols.rssi_dbm)
+            & (cols.rssi_dbm >= cfg.rssi_min_dbm)
+            & (cols.rssi_dbm <= cfg.rssi_max_dbm)
+        )
+        self.stats.rssi_out_of_range += int(bad_rssi.sum())
+        alive &= ~bad_rssi
+
+        screened: List[TagReportData] = []
+        for report in cols.select(alive).to_reports():
+            if self._is_duplicate(report):
+                self.stats.duplicates += 1
+                continue
+            watermark = self._watermark_us.get(report.epc)
+            if (
+                watermark is not None
+                and report.reader_timestamp_us < watermark
+            ):
+                self.stats.reordered += 1
+            else:
+                self._watermark_us[report.epc] = report.reader_timestamp_us
+            screened.append(report)
+        screened.sort(key=lambda r: r.reader_timestamp_us)
+        if cfg.repair_pi_slips:
             screened = self._repair_pi_slips(screened)
         self.stats.accepted += len(screened)
         return screened

@@ -28,6 +28,8 @@ import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro.core.locator import Fix2D, Fix3D
 from repro.core.pipeline import PipelineConfig
 from repro.errors import PermanentError, TransientError
@@ -176,6 +178,32 @@ class ResilientLocalizationServer(LocalizationServer):
             )
             accepted += super().ingest(
                 reader_name, validator.process(port_reports)
+            )
+        return accepted
+
+    def ingest_columnar(self, reader_name: str, cols) -> int:
+        """Validate and buffer a columnar batch; returns the number accepted.
+
+        The wire-ingest counterpart of :meth:`ingest`: the batch arrives
+        as a :class:`~repro.hardware.llrp_columnar.ColumnarReportBatch`,
+        the stateless screens run vectorized over its columns
+        (:meth:`~repro.robustness.validation.ReportValidator
+        .process_columnar`), and only validator-approved survivors are
+        materialized as objects for the stream buffers.  Identical
+        accounting and buffer contents to ``ingest(cols.to_reports())``.
+        """
+        validate_stream_key(reader_name, 0)
+        ports = cols.antenna_ports()
+        for port in ports:
+            validate_stream_key(reader_name, port)
+        accepted = 0
+        for port in ports:
+            sub = cols.select(np.asarray(cols.antenna_port == port))
+            validator = self._validators.setdefault(
+                (reader_name, port), ReportValidator(self.validation)
+            )
+            accepted += LocalizationServer.ingest(
+                self, reader_name, validator.process_columnar(sub)
             )
         return accepted
 

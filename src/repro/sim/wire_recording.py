@@ -1,0 +1,296 @@
+"""Binary wire-level capture and replay of measurement sessions.
+
+:mod:`repro.sim.recording` stores *decoded* reports as JSON — ideal for
+inspection, useless for load testing: replaying it exercises none of
+the framing, decoding or validation the wire path performs at ingest.
+A :class:`WireRecording` instead stores the session as the reader
+transport would have delivered it: length-prefixed binary LLRP frames
+with per-frame capture offsets, plus the registry snapshot and ground
+truth needed to re-serve the deployment.  Replaying one drives the
+entire ingest stack — frame reassembly, columnar decode, validation,
+fleet serving — at a configurable multiple of the captured pacing.
+
+File layout (all integers big-endian)::
+
+    8 bytes   magic  b"TSPNWIRE"
+    u16       format version (1)
+    u32       header length
+    bytes     header JSON: label, truth, registry snapshot (the same
+              disk/profile serializers recording.py uses)
+    u32       frame count
+    then per frame:
+    u64       capture offset [microseconds since session start]
+    u32       frame length
+    bytes     the raw LLRP frame
+
+The format is versioned alongside ``sim/recording.py``; loaders raise
+typed errors (never ``struct.error``) on truncated or foreign files.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.llrp_wire import encode_ro_access_report
+from repro.server.registry import SpinningTagRecord, TagRegistry
+from repro.sim.recording import (
+    _disk_from_dict,
+    _disk_to_dict,
+    _profile_from_dict,
+    _profile_to_dict,
+)
+
+WIRE_MAGIC = b"TSPNWIRE"
+WIRE_FORMAT_VERSION = 1
+
+#: Default reports per RO_ACCESS_REPORT frame when capturing a batch —
+#: the order of magnitude COTS readers use for immediate reporting.
+DEFAULT_REPORTS_PER_FRAME = 50
+
+
+@dataclass(frozen=True)
+class RecordedFrame:
+    """One captured LLRP frame with its session-relative capture time."""
+
+    offset_us: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.offset_us < 0:
+            raise ConfigurationError(
+                f"frame capture offset must be non-negative, "
+                f"got {self.offset_us}"
+            )
+
+
+@dataclass
+class WireRecording:
+    """A replayable wire-level capture of one measurement session."""
+
+    frames: List[RecordedFrame] = field(default_factory=list)
+    registry_records: List[SpinningTagRecord] = field(default_factory=list)
+    truth: Optional[Point3] = None
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        batch: ReportBatch,
+        registry_records: List[SpinningTagRecord],
+        truth: Optional[Point3] = None,
+        label: str = "",
+        reports_per_frame: int = DEFAULT_REPORTS_PER_FRAME,
+    ) -> "WireRecording":
+        """Frame a report batch as the reader would have streamed it.
+
+        Reports are ordered by reader timestamp and grouped into
+        RO_ACCESS_REPORT frames of ``reports_per_frame``; each frame's
+        capture offset is its last report's reader time relative to the
+        session start (a frame leaves the reader when its newest read
+        completes it).
+        """
+        if reports_per_frame < 1:
+            raise ConfigurationError(
+                f"reports_per_frame must be positive, "
+                f"got {reports_per_frame}"
+            )
+        ordered = batch.sorted_by_reader_time().reports
+        start_us = ordered[0].reader_timestamp_us if ordered else 0
+        frames: List[RecordedFrame] = []
+        for index in range(0, len(ordered), reports_per_frame):
+            chunk: List[TagReportData] = ordered[
+                index : index + reports_per_frame
+            ]
+            frames.append(
+                RecordedFrame(
+                    offset_us=chunk[-1].reader_timestamp_us - start_us,
+                    payload=encode_ro_access_report(
+                        ReportBatch(chunk),
+                        message_id=len(frames) + 1,
+                    ),
+                )
+            )
+        return cls(
+            frames=frames,
+            registry_records=list(registry_records),
+            truth=truth,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(frame.payload) for frame in self.frames)
+
+    @property
+    def duration_s(self) -> float:
+        """Captured span from session start to the last frame."""
+        if not self.frames:
+            return 0.0
+        return max(frame.offset_us for frame in self.frames) / 1e6
+
+    def build_registry(self) -> TagRegistry:
+        registry = TagRegistry()
+        for record in self.registry_records:
+            registry.register(record)
+        return registry
+
+    # ------------------------------------------------------------------
+    # Replay pacing
+    # ------------------------------------------------------------------
+    def replay_schedule(
+        self, speed: float = 1.0
+    ) -> Iterator[Tuple[float, bytes]]:
+        """Yield ``(delay_s, frame_bytes)`` pairs paced at ``speed``x.
+
+        ``delay_s`` is how long to wait *after the previous frame*
+        before sending this one; at 1000x a one-hour capture replays in
+        3.6 seconds.  Frames are replayed in capture order regardless
+        of offset monotonicity.
+        """
+        if not speed > 0.0:
+            raise ConfigurationError(
+                f"replay speed must be positive, got {speed}"
+            )
+        previous_us = 0
+        for frame in self.frames:
+            gap_us = max(0, frame.offset_us - previous_us)
+            previous_us = max(previous_us, frame.offset_us)
+            yield gap_us / 1e6 / speed, frame.payload
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _header_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "truth": (
+                [self.truth.x, self.truth.y, self.truth.z]
+                if self.truth is not None
+                else None
+            ),
+            "registry": [
+                {
+                    "epc": record.epc,
+                    "model_key": record.model_key,
+                    "disk": _disk_to_dict(record.disk),
+                    "orientation_profile": _profile_to_dict(
+                        record.orientation_profile
+                    ),
+                }
+                for record in self.registry_records
+            ],
+        }
+
+    def to_bytes(self) -> bytes:
+        header = json.dumps(self._header_dict()).encode("utf-8")
+        parts = [
+            WIRE_MAGIC,
+            struct.pack(">HI", WIRE_FORMAT_VERSION, len(header)),
+            header,
+            struct.pack(">I", len(self.frames)),
+        ]
+        for frame in self.frames:
+            parts.append(
+                struct.pack(">QI", frame.offset_us, len(frame.payload))
+            )
+            parts.append(frame.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WireRecording":
+        view = memoryview(data)
+        if len(view) < len(WIRE_MAGIC) + 6:
+            raise WireProtocolError(
+                "truncated wire recording preamble", offset=0
+            )
+        if bytes(view[: len(WIRE_MAGIC)]) != WIRE_MAGIC:
+            raise WireProtocolError(
+                f"not a wire recording (magic "
+                f"{bytes(view[:len(WIRE_MAGIC)])!r})",
+                offset=0,
+            )
+        offset = len(WIRE_MAGIC)
+        version, header_len = struct.unpack_from(">HI", view, offset)
+        offset += 6
+        if version != WIRE_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported wire recording version {version!r}"
+            )
+        if offset + header_len + 4 > len(view):
+            raise WireProtocolError(
+                "truncated wire recording header", offset=offset
+            )
+        try:
+            header = json.loads(bytes(view[offset : offset + header_len]))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireProtocolError(
+                f"corrupt wire recording header: {exc}", offset=offset
+            ) from None
+        offset += header_len
+        (frame_count,) = struct.unpack_from(">I", view, offset)
+        offset += 4
+        frames: List[RecordedFrame] = []
+        for _ in range(frame_count):
+            if offset + 12 > len(view):
+                raise WireProtocolError(
+                    "truncated wire recording frame header", offset=offset
+                )
+            offset_us, length = struct.unpack_from(">QI", view, offset)
+            offset += 12
+            if offset + length > len(view):
+                raise WireProtocolError(
+                    f"truncated wire recording frame body "
+                    f"({length} bytes declared)",
+                    offset=offset,
+                )
+            frames.append(
+                RecordedFrame(
+                    offset_us=offset_us,
+                    payload=bytes(view[offset : offset + length]),
+                )
+            )
+            offset += length
+        if offset != len(view):
+            raise WireProtocolError(
+                "trailing bytes after last recorded frame", offset=offset
+            )
+        truth = header.get("truth")
+        return cls(
+            frames=frames,
+            registry_records=[
+                SpinningTagRecord(
+                    epc=item["epc"],
+                    disk=_disk_from_dict(item["disk"]),
+                    model_key=item.get("model_key", "squiggle"),
+                    orientation_profile=_profile_from_dict(
+                        item.get("orientation_profile")
+                    ),
+                )
+                for item in header.get("registry", [])
+            ],
+            truth=Point3(*truth) if truth is not None else None,
+            label=header.get("label", ""),
+        )
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "WireRecording":
+        return cls.from_bytes(Path(path).read_bytes())

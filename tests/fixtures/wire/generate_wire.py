@@ -1,0 +1,132 @@
+"""Generate the golden binary wire fixtures used by ``tests/hardware``.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/fixtures/wire/generate_wire.py
+
+Produces four LLRP byte streams next to this script, each as ``.bin``
+(the exact wire bytes) plus ``.hex`` (a reviewable hexdump committed
+alongside, so fixture drift shows up in diffs):
+
+* ``clean``          — two well-formed RO_ACCESS_REPORT frames in the
+  canonical encoder layout (columnar fast path);
+* ``multi_batch``    — three report frames with a KEEPALIVE between
+  them (the parser must skip, not choke);
+* ``vendor_missing`` — reports without the Impinj Custom parameter, so
+  phase/host-time fall back to defaults (columnar general path);
+* ``unknown_param``  — a frame carrying an unknown-but-well-formed
+  top-level parameter that decoders must skip.
+
+The fixtures are committed; regenerate only when the wire format
+intentionally changes, and commit the resulting drift alongside the
+format change.  ``tests/hardware/test_wire_golden.py`` both pins the
+bytes and rebuilds them from this module, so generator and fixtures
+cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.llrp_wire import encode_ro_access_report
+
+HERE = Path(__file__).resolve().parent
+
+
+def _report(i: int) -> TagReportData:
+    """Deterministic report stream (no RNG: fixtures must be stable)."""
+    return TagReportData(
+        epc=f"E2801160600002060000{i % 3:04X}",
+        antenna_port=1 + i % 2,
+        channel_index=1 + i % 16,
+        reader_timestamp_us=1_600_000_000_000_000 + 2_500 * i,
+        host_timestamp_us=1_600_000_000_000_040 + 2_500 * i,
+        phase_rad=(i * 0.39269908169872414) % 6.283185307179586,
+        rssi_dbm=-55.0 - (i % 8),
+    )
+
+
+def _frame(start: int, count: int, message_id: int) -> bytes:
+    return encode_ro_access_report(
+        ReportBatch([_report(start + i) for i in range(count)]),
+        message_id=message_id,
+    )
+
+
+def _keepalive(message_id: int) -> bytes:
+    return struct.pack(">HII", (1 << 10) | 62, 10, message_id)
+
+
+def _strip_custom(frame: bytes) -> bytes:
+    """Drop every report's Custom (vendor extension) parameter."""
+    body = frame[10:]
+    records = []
+    offset = 0
+    while offset < len(body):
+        _ptype, length = struct.unpack_from(">HH", body, offset)
+        inner = body[offset + 4 : offset + length]
+        kept = b""
+        ioff = 0
+        while ioff < len(inner):
+            itype, ilen = struct.unpack_from(">HH", inner, ioff)
+            if itype != 1023:
+                kept += inner[ioff : ioff + ilen]
+            ioff += ilen
+        records.append(struct.pack(">HH", 240, 4 + len(kept)) + kept)
+        offset += length
+    new_body = b"".join(records)
+    return (
+        frame[:2]
+        + struct.pack(">I", 10 + len(new_body))
+        + frame[6:10]
+        + new_body
+    )
+
+
+def _append_unknown(frame: bytes, param_type: int = 777) -> bytes:
+    """Append a well-formed but unknown top-level parameter."""
+    alien = struct.pack(">HH", param_type, 10) + bytes(range(6))
+    return (
+        frame[:2]
+        + struct.pack(">I", len(frame) + len(alien))
+        + frame[6:]
+        + alien
+    )
+
+
+def build_fixtures() -> dict:
+    """Name -> wire bytes for every golden stream."""
+    return {
+        "clean": _frame(0, 4, 1) + _frame(4, 4, 2),
+        "multi_batch": (
+            _frame(0, 3, 1)
+            + _keepalive(100)
+            + _frame(3, 3, 2)
+            + _keepalive(101)
+            + _frame(6, 2, 3)
+        ),
+        "vendor_missing": _strip_custom(_frame(0, 4, 1)),
+        "unknown_param": _append_unknown(_frame(0, 3, 1)),
+    }
+
+
+def hexdump(data: bytes) -> str:
+    """Classic 16-byte-wide offset + hex dump (no ASCII gutter)."""
+    lines = []
+    for offset in range(0, len(data), 16):
+        chunk = data[offset : offset + 16]
+        lines.append(f"{offset:08x}  {chunk.hex(' ')}")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    for name, wire in build_fixtures().items():
+        (HERE / f"{name}.bin").write_bytes(wire)
+        (HERE / f"{name}.hex").write_text(hexdump(wire))
+        print(f"wrote {name}.bin ({len(wire)} bytes) and {name}.hex")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,240 @@
+"""Tests for repro.hardware.llrp_stream (frame reassembly)."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.llrp_stream import (
+    FrameAccumulator,
+    StreamingLLRPParser,
+)
+from repro.hardware.llrp_wire import encode_ro_access_report
+
+
+def _report(i: int, **overrides) -> TagReportData:
+    defaults = dict(
+        epc=f"E20000000000000000{i:06X}",
+        antenna_port=1 + i % 4,
+        channel_index=1 + i % 16,
+        reader_timestamp_us=1_000_000 + 1_000 * i,
+        host_timestamp_us=1_000_040 + 1_000 * i,
+        phase_rad=(i * 0.37) % 6.28,
+        rssi_dbm=-60.0 + (i % 20),
+    )
+    defaults.update(overrides)
+    return TagReportData(**defaults)
+
+
+def _frames(count: int, per_frame: int = 5) -> list:
+    return [
+        encode_ro_access_report(
+            ReportBatch(
+                [_report(f * per_frame + i) for i in range(per_frame)]
+            ),
+            message_id=f + 1,
+        )
+        for f in range(count)
+    ]
+
+
+def _keepalive(message_id: int = 9) -> bytes:
+    # Type 62 (KEEPALIVE) header-only frame: valid framing, not decoded.
+    return struct.pack(">HII", (1 << 10) | 62, 10, message_id)
+
+
+class TestFrameAccumulator:
+    def test_whole_frames_pass_through(self):
+        frames = _frames(3)
+        acc = FrameAccumulator()
+        out = []
+        for frame in frames:
+            out.extend(acc.feed(frame))
+        assert out == frames
+        assert acc.pending_bytes == 0
+        assert acc.stats.frames == 3
+
+    def test_byte_at_a_time(self):
+        frames = _frames(2)
+        wire = b"".join(frames)
+        acc = FrameAccumulator()
+        out = []
+        for i in range(len(wire)):
+            out.extend(acc.feed(wire[i : i + 1]))
+        assert out == frames
+
+    def test_many_frames_in_one_chunk(self):
+        frames = _frames(4)
+        acc = FrameAccumulator()
+        assert acc.feed(b"".join(frames)) == frames
+
+    def test_split_inside_header(self):
+        frames = _frames(1)
+        wire = frames[0]
+        acc = FrameAccumulator()
+        assert acc.feed(wire[:4]) == []
+        assert acc.pending_bytes == 4
+        assert acc.feed(wire[4:]) == frames
+
+    def test_random_chunking_matches_whole(self):
+        frames = _frames(6, per_frame=3)
+        wire = b"".join(frames)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            cuts = sorted(
+                rng.integers(0, len(wire), size=12).tolist()
+            )
+            acc = FrameAccumulator()
+            out = []
+            last = 0
+            for cut in cuts + [len(wire)]:
+                out.extend(acc.feed(wire[last:cut]))
+                last = cut
+            assert out == frames
+
+    def test_stream_offset_advances(self):
+        frames = _frames(2)
+        acc = FrameAccumulator()
+        acc.feed(b"".join(frames))
+        assert acc.stream_offset == sum(len(f) for f in frames)
+
+    def test_bad_version_raises_with_offset(self):
+        good = _frames(1)[0]
+        bad = struct.pack(">HII", 0x7FFF, 20, 1) + b"\x00" * 10
+        acc = FrameAccumulator()
+        acc.feed(good)
+        with pytest.raises(WireProtocolError) as excinfo:
+            acc.feed(bad)
+        assert excinfo.value.offset == len(good)
+        assert str(len(good)) in str(excinfo.value)
+
+    def test_oversized_length_raises(self):
+        acc = FrameAccumulator(max_frame_bytes=1024)
+        huge = struct.pack(">HII", (1 << 10) | 61, 40_000, 1)
+        with pytest.raises(WireProtocolError, match="frame cap"):
+            acc.feed(huge)
+
+    def test_close_mid_frame_raises(self):
+        frames = _frames(1)
+        acc = FrameAccumulator()
+        acc.feed(frames[0][:-3])
+        with pytest.raises(WireProtocolError, match="mid-frame"):
+            acc.close()
+
+    def test_close_clean_is_silent(self):
+        acc = FrameAccumulator()
+        acc.feed(_frames(1)[0])
+        acc.close()
+
+    def test_never_raises_struct_error(self):
+        acc = FrameAccumulator()
+        with pytest.raises((WireProtocolError, ConfigurationError)):
+            try:
+                acc.feed(b"\xff" * 64)
+                acc.close()
+            except struct.error:  # pragma: no cover
+                pytest.fail("leaked struct.error")
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            FrameAccumulator(on_error="ignore")
+        with pytest.raises(ConfigurationError):
+            FrameAccumulator(max_frame_bytes=2)
+
+
+class TestResync:
+    def test_recovers_after_garbage(self):
+        frames = _frames(2)
+        garbage = b"\xde\xad\xbe\xef" * 9 + b"\x01"
+        acc = FrameAccumulator(on_error="resync")
+        out = acc.feed(garbage + frames[0] + frames[1])
+        assert out == frames
+        assert acc.stats.resyncs >= 1
+        assert acc.stats.bytes_skipped == len(garbage)
+
+    def test_corrupt_frame_between_good_ones(self):
+        frames = _frames(3)
+        # Mangle the middle frame's version bits so its header is
+        # implausible; the corrupted frame must never be emitted, and
+        # the stream keeps terminating (resync may swallow trailing
+        # frames when garbage aliases a plausible header — that is the
+        # documented cost of the weak plausibility predicate).
+        corrupted = b"\x00" + frames[1][1:]
+        acc = FrameAccumulator(on_error="resync")
+        out = acc.feed(frames[0] + corrupted + frames[2])
+        acc.close()
+        assert out[0] == frames[0]
+        assert corrupted not in out
+        assert acc.stats.resyncs >= 1
+
+    def test_resync_counts_bytes(self):
+        acc = FrameAccumulator(on_error="resync")
+        acc.feed(b"\x00" * 40)
+        acc.close()
+        assert acc.stats.bytes_skipped == 40
+
+    def test_close_in_resync_mode_swallows_tail(self):
+        acc = FrameAccumulator(on_error="resync")
+        acc.feed(_frames(1)[0][:-2])
+        acc.close()  # no raise; tail counted as skipped
+        assert acc.stats.bytes_skipped > 0
+
+
+class TestStreamingLLRPParser:
+    def test_decodes_batches(self):
+        frames = _frames(3, per_frame=4)
+        parser = StreamingLLRPParser()
+        batches = parser.feed(b"".join(frames))
+        assert [mid for mid, _ in batches] == [1, 2, 3]
+        assert all(len(batch) == 4 for _, batch in batches)
+        assert parser.stats.reports == 12
+
+    def test_skips_keepalives(self):
+        frames = _frames(2)
+        wire = frames[0] + _keepalive() + frames[1]
+        parser = StreamingLLRPParser()
+        batches = parser.feed(wire)
+        assert len(batches) == 2
+        assert parser.stats.frames_skipped == 1
+
+    def test_columnar_matches_object_path(self):
+        frames = _frames(4, per_frame=6)
+        wire = b"".join(frames)
+        object_parser = StreamingLLRPParser()
+        object_batches = object_parser.feed(wire)
+        columnar_parser = StreamingLLRPParser()
+        columnar_batches = columnar_parser.feed_columnar(wire)
+        assert len(object_batches) == len(columnar_batches)
+        for (mid_o, batch), (mid_c, cols) in zip(
+            object_batches, columnar_batches
+        ):
+            assert mid_o == mid_c
+            assert cols.to_reports() == list(batch.reports)
+
+    def test_chunked_columnar_same_as_whole(self):
+        frames = _frames(3, per_frame=5)
+        wire = b"".join(frames)
+        whole = StreamingLLRPParser()
+        whole_batches = whole.feed_columnar(wire)
+        chunked = StreamingLLRPParser()
+        chunked_batches = []
+        for i in range(0, len(wire), 7):
+            chunked_batches.extend(
+                chunked.feed_columnar(wire[i : i + 7])
+            )
+        assert len(whole_batches) == len(chunked_batches)
+        for (mid_w, cols_w), (mid_c, cols_c) in zip(
+            whole_batches, chunked_batches
+        ):
+            assert mid_w == mid_c
+            assert cols_w.to_reports() == cols_c.to_reports()
+
+    def test_close_propagates(self):
+        parser = StreamingLLRPParser()
+        parser.feed(_frames(1)[0][:5])
+        with pytest.raises(WireProtocolError):
+            parser.close()

@@ -1,0 +1,199 @@
+"""Byte-level fuzzing of the wire decoders (CI slow job).
+
+The contract under fuzz: any truncation or bit corruption of a valid
+frame raises :class:`~repro.errors.ConfigurationError` (usually its
+:class:`~repro.errors.WireProtocolError` subtype) or decodes cleanly —
+never ``struct.error``, never ``IndexError``, never a hang.  And
+whatever the object decoder does on a mangled input, the columnar
+decoder does identically: same reports or the same typed error at the
+same byte offset.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.llrp_columnar import decode_ro_access_report_columnar
+from repro.hardware.llrp_stream import FrameAccumulator, StreamingLLRPParser
+from repro.hardware.llrp_wire import (
+    decode_ro_access_report,
+    decode_tag_report,
+    encode_ro_access_report,
+    encode_tag_report,
+)
+
+pytestmark = pytest.mark.slow
+
+_FORBIDDEN = (struct.error, IndexError, KeyError, UnicodeError)
+
+
+def _report(i: int) -> TagReportData:
+    return TagReportData(
+        epc=f"E20000000000000000{i:06X}",
+        antenna_port=1 + i % 4,
+        channel_index=1 + i % 16,
+        reader_timestamp_us=3_000_000 + 1_009 * i,
+        host_timestamp_us=3_000_040 + 1_009 * i,
+        phase_rad=(i * 0.7) % 6.28,
+        rssi_dbm=-60.0,
+    )
+
+
+def _frame(n: int = 5, message_id: int = 1) -> bytes:
+    return encode_ro_access_report(
+        ReportBatch([_report(i) for i in range(n)]), message_id
+    )
+
+
+def _decode_outcome(decoder, data: bytes):
+    """(reports, None) on success, (None, (message, offset)) on error."""
+    try:
+        result = decoder(data)
+    except ConfigurationError as exc:
+        return None, (str(exc), getattr(exc, "offset", None))
+    except _FORBIDDEN as exc:  # pragma: no cover - the bug being hunted
+        pytest.fail(
+            f"{decoder.__name__} leaked {type(exc).__name__}: {exc}"
+        )
+    _mid, decoded = result
+    if hasattr(decoded, "to_reports"):
+        return decoded.to_reports(), None
+    return list(decoded.reports), None
+
+
+class TestTruncationEveryOffset:
+    def test_frame_truncated_at_every_length(self):
+        """Exhaustive: every prefix decodes cleanly or raises typed."""
+        frame = _frame(3)
+        for cut in range(len(frame)):
+            prefix = bytearray(frame[:cut])
+            if cut >= 6:
+                # Keep the header's length honest so the cut hits the
+                # TLV layer, not just the outer length check.
+                prefix[2:6] = struct.pack(">I", cut)
+            for decoder in (
+                decode_ro_access_report,
+                decode_ro_access_report_columnar,
+            ):
+                try:
+                    decoder(bytes(prefix))
+                except ConfigurationError:
+                    pass
+                except _FORBIDDEN as exc:  # pragma: no cover
+                    pytest.fail(
+                        f"cut={cut}: leaked {type(exc).__name__}: {exc}"
+                    )
+
+    def test_param_body_truncation_names_parameter(self):
+        body = encode_tag_report(_report(0))[4:]
+        # Cut inside the AntennaID parameter body (EPC TLV is 16 bytes,
+        # AntennaID header 4, so byte 21 is mid-body).
+        cut = body[:21]
+        patched = bytearray(cut)
+        patched[16 + 2 : 16 + 4] = struct.pack(">H", len(cut) - 16)
+        with pytest.raises(ConfigurationError, match="AntennaID"):
+            decode_tag_report(bytes(patched))
+
+    def test_truncation_differential(self):
+        frame = _frame(4)
+        for cut in range(10, len(frame)):
+            prefix = bytearray(frame[:cut])
+            prefix[2:6] = struct.pack(">I", cut)
+            data = bytes(prefix)
+            object_out = _decode_outcome(decode_ro_access_report, data)
+            columnar_out = _decode_outcome(
+                decode_ro_access_report_columnar, data
+            )
+            assert object_out == columnar_out, f"cut={cut}"
+
+
+class TestBitFlips:
+    def test_single_byte_corruption_differential(self):
+        """Flip every byte in turn; both decoders must agree."""
+        frame = _frame(2)
+        for position in range(len(frame)):
+            for flip in (0x01, 0x80, 0xFF):
+                mutated = bytearray(frame)
+                mutated[position] ^= flip
+                data = bytes(mutated)
+                object_out = _decode_outcome(
+                    decode_ro_access_report, data
+                )
+                columnar_out = _decode_outcome(
+                    decode_ro_access_report_columnar, data
+                )
+                assert object_out == columnar_out, (
+                    f"position={position} flip={flip:#x}"
+                )
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=1, max_value=255),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_corruption_never_leaks(self, seed, flips):
+        frame = bytearray(_frame(3, message_id=seed % 1000 + 1))
+        for position, mask in flips:
+            frame[position % len(frame)] ^= mask
+        data = bytes(frame)
+        object_out = _decode_outcome(decode_ro_access_report, data)
+        columnar_out = _decode_outcome(
+            decode_ro_access_report_columnar, data
+        )
+        assert object_out == columnar_out
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=150, deadline=None)
+    def test_pure_garbage_never_leaks(self, blob):
+        _decode_outcome(decode_ro_access_report, blob)
+        _decode_outcome(decode_ro_access_report_columnar, blob)
+
+
+class TestStreamFuzz:
+    def test_accumulator_survives_corrupted_stream(self):
+        """Bit-flipped stream in resync mode: terminates, stays typed."""
+        wire = bytearray(_frame(4) + _frame(4, message_id=2))
+        rng = np.random.default_rng(11)
+        for position in rng.integers(0, len(wire), size=20):
+            wire[position] ^= int(rng.integers(1, 256))
+        acc = FrameAccumulator(on_error="resync")
+        try:
+            for i in range(0, len(wire), 13):
+                acc.feed(bytes(wire[i : i + 13]))
+            acc.close()
+        except _FORBIDDEN as exc:  # pragma: no cover
+            pytest.fail(f"leaked {type(exc).__name__}: {exc}")
+        assert acc.stats.bytes_fed == len(wire)
+
+    def test_parser_raise_mode_is_typed(self):
+        wire = bytearray(_frame(2))
+        wire[0] = 0xFF  # destroy the version bits
+        parser = StreamingLLRPParser(on_error="raise")
+        with pytest.raises(ConfigurationError):
+            parser.feed(bytes(wire))
+
+    @given(
+        st.binary(min_size=0, max_size=300),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_garbage_streams_terminate(self, blob, chunk_size):
+        acc = FrameAccumulator(on_error="resync")
+        for i in range(0, len(blob), chunk_size):
+            acc.feed(blob[i : i + chunk_size])
+        acc.close()
+        assert acc.stats.bytes_fed == len(blob)

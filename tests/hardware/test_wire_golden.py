@@ -1,0 +1,162 @@
+"""Golden wire-fixture regression pins (tests/fixtures/wire).
+
+Three layers of pinning:
+
+* the committed ``.bin`` bytes equal what the committed generator
+  rebuilds (generator and fixtures cannot drift apart silently);
+* the committed ``.hex`` dumps match the ``.bin`` bytes (the reviewable
+  form stays honest);
+* decoding the fixtures — object and columnar, whole and re-chunked —
+  yields pinned report counts, EPCs and values.
+
+If an intentional wire-format change lands, regenerate with
+``PYTHONPATH=src python tests/fixtures/wire/generate_wire.py`` and
+commit the drift with the format change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.hardware.llrp_stream import StreamingLLRPParser
+
+FIXTURE_DIR = (
+    Path(__file__).resolve().parents[1] / "fixtures" / "wire"
+)
+FIXTURE_NAMES = (
+    "clean",
+    "multi_batch",
+    "vendor_missing",
+    "unknown_param",
+)
+
+# sha256 of each committed .bin — the hard pin.  Regenerating after an
+# intentional format change updates these alongside the fixtures.
+PINNED_SHA256 = {
+    "clean": (
+        "239c15d3b9834d6f6f8f1c940a780005"
+        "396a0976a47d69ffd65665c0fe8a8cf4"
+    ),
+    "multi_batch": (
+        "13e5e38002bc5d1a4b7d95a72aa38904"
+        "1f1ce97cab6987e56c6471baef865b88"
+    ),
+    "vendor_missing": (
+        "579cc9d11ecfd073edc7105fc85e88e7"
+        "6cde6ab8466c0c7408d736a1fc7bec64"
+    ),
+    "unknown_param": (
+        "492bdcfb581b43583c163cfebb2eac62"
+        "c5063b58aac06e3f916800633ac14915"
+    ),
+}
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "generate_wire", FIXTURE_DIR / "generate_wire.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _wire(name: str) -> bytes:
+    return (FIXTURE_DIR / f"{name}.bin").read_bytes()
+
+
+class TestFixtureIntegrity:
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    def test_sha256_pinned(self, name):
+        digest = hashlib.sha256(_wire(name)).hexdigest()
+        assert digest == PINNED_SHA256[name], (
+            f"{name}.bin drifted; if intentional, regenerate fixtures "
+            f"and update PINNED_SHA256"
+        )
+
+    def test_generator_reproduces_committed_bytes(self):
+        generator = _load_generator()
+        for name, wire in generator.build_fixtures().items():
+            assert wire == _wire(name), f"{name}.bin out of date"
+
+    def test_hexdumps_match_binaries(self):
+        generator = _load_generator()
+        for name in FIXTURE_NAMES:
+            committed = (FIXTURE_DIR / f"{name}.hex").read_text()
+            assert committed == generator.hexdump(_wire(name))
+
+
+class TestFixtureDecodes:
+    def test_clean(self):
+        parser = StreamingLLRPParser()
+        batches = parser.feed(_wire("clean"))
+        parser.close()
+        assert [mid for mid, _ in batches] == [1, 2]
+        assert [len(b) for _, b in batches] == [4, 4]
+        first = batches[0][1].reports[0]
+        assert first.epc == "E28011606000020600000000"
+        assert first.antenna_port == 1
+        assert first.reader_timestamp_us == 1_600_000_000_000_000
+
+    def test_multi_batch_skips_keepalives(self):
+        parser = StreamingLLRPParser()
+        batches = parser.feed(_wire("multi_batch"))
+        parser.close()
+        assert [mid for mid, _ in batches] == [1, 2, 3]
+        assert [len(b) for _, b in batches] == [3, 3, 2]
+        assert parser.stats.frames_skipped == 2
+
+    def test_vendor_missing_decodes_with_defaults(self):
+        parser = StreamingLLRPParser()
+        batches = parser.feed(_wire("vendor_missing"))
+        parser.close()
+        (entry,) = batches
+        _mid, batch = entry
+        assert len(batch) == 4
+        assert all(r.phase_rad == 0.0 for r in batch.reports)
+        assert all(r.host_timestamp_us == 0 for r in batch.reports)
+
+    def test_unknown_param_is_skipped(self):
+        parser = StreamingLLRPParser()
+        batches = parser.feed(_wire("unknown_param"))
+        parser.close()
+        (entry,) = batches
+        _mid, batch = entry
+        assert len(batch) == 3
+
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    def test_columnar_differential_on_fixture(self, name):
+        wire = _wire(name)
+        object_parser = StreamingLLRPParser()
+        object_batches = object_parser.feed(wire)
+        object_parser.close()
+        columnar_parser = StreamingLLRPParser()
+        columnar_batches = columnar_parser.feed_columnar(wire)
+        columnar_parser.close()
+        assert len(object_batches) == len(columnar_batches)
+        for (mid_o, batch), (mid_c, cols) in zip(
+            object_batches, columnar_batches
+        ):
+            assert mid_o == mid_c
+            assert cols.to_reports() == list(batch.reports)
+
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    @pytest.mark.parametrize("chunk", (1, 7, 64))
+    def test_chunked_decode_matches_whole(self, name, chunk):
+        wire = _wire(name)
+        whole = StreamingLLRPParser()
+        reference = [
+            (mid, list(b.reports)) for mid, b in whole.feed(wire)
+        ]
+        fragmented = StreamingLLRPParser()
+        got = []
+        for i in range(0, len(wire), chunk):
+            got.extend(
+                (mid, list(b.reports))
+                for mid, b in fragmented.feed(wire[i : i + chunk])
+            )
+        assert got == reference

@@ -1,0 +1,196 @@
+"""Property tests of the wire path (hypothesis; CI slow job).
+
+Two invariants the streaming ingest stack is built on:
+
+* **round-trip** — encode→decode preserves every field exactly except
+  phase and RSSI, which are quantized with documented bounds
+  (phase within ``pi / PHASE_UNITS``, RSSI to whole dBm);
+* **chunking invariance** — feeding a byte stream through
+  :class:`FrameAccumulator` split at *any* fragmentation yields the
+  identical frame sequence, with or without embedded garbage (resync).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.llrp_columnar import decode_ro_access_report_columnar
+from repro.hardware.llrp_stream import FrameAccumulator, StreamingLLRPParser
+from repro.hardware.llrp_wire import (
+    PHASE_UNITS,
+    decode_phase,
+    decode_ro_access_report,
+    encode_phase,
+    encode_ro_access_report,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def _epcs() -> st.SearchStrategy[str]:
+    return st.binary(min_size=12, max_size=12).map(
+        lambda b: b.hex().upper()
+    )
+
+
+def _reports() -> st.SearchStrategy[TagReportData]:
+    return st.builds(
+        TagReportData,
+        epc=_epcs(),
+        antenna_port=st.integers(min_value=0, max_value=0xFFFF),
+        channel_index=st.integers(min_value=0, max_value=0xFFFF),
+        reader_timestamp_us=st.integers(min_value=0, max_value=2**63 - 1),
+        host_timestamp_us=st.integers(min_value=0, max_value=2**63 - 1),
+        phase_rad=st.floats(
+            min_value=-100.0, max_value=100.0, allow_nan=False
+        ),
+        rssi_dbm=st.floats(
+            min_value=-128.0, max_value=127.0, allow_nan=False
+        ).map(lambda v: float(int(v))),
+    )
+
+
+def _batches(max_size: int = 20) -> st.SearchStrategy[ReportBatch]:
+    return st.lists(_reports(), min_size=0, max_size=max_size).map(
+        ReportBatch
+    )
+
+
+def _split_at(wire: bytes, cuts) -> list:
+    chunks = []
+    last = 0
+    for cut in sorted(cut % (len(wire) + 1) for cut in cuts):
+        chunks.append(wire[last:cut])
+        last = cut
+    chunks.append(wire[last:])
+    return chunks
+
+
+class TestRoundTripProperties:
+    @given(st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_phase_quantization_bound(self, phase):
+        recovered = decode_phase(encode_phase(phase))
+        error = abs(math.remainder(recovered - phase, 2 * math.pi))
+        assert error <= math.pi / PHASE_UNITS + 1e-12
+
+    @given(_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_round_trip_within_quantization(self, batch):
+        frame = encode_ro_access_report(batch, message_id=5)
+        mid, decoded = decode_ro_access_report(frame)
+        assert mid == 5
+        assert len(decoded) == len(batch)
+        for original, got in zip(batch.reports, decoded.reports):
+            assert got.epc == original.epc
+            assert got.antenna_port == original.antenna_port
+            assert got.channel_index == original.channel_index
+            assert got.reader_timestamp_us == original.reader_timestamp_us
+            assert got.host_timestamp_us == original.host_timestamp_us
+            assert got.rssi_dbm == original.rssi_dbm
+            error = abs(
+                math.remainder(
+                    got.phase_rad - original.phase_rad, 2 * math.pi
+                )
+            )
+            assert error <= math.pi / PHASE_UNITS + 1e-12
+
+    @given(_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_columnar_differential_on_random_batches(self, batch):
+        frame = encode_ro_access_report(batch, message_id=2)
+        _mid, expect = decode_ro_access_report(frame)
+        _mid, cols = decode_ro_access_report_columnar(frame)
+        assert cols.to_reports() == list(expect.reports)
+
+
+class TestChunkingInvariance:
+    @given(
+        st.lists(_batches(max_size=6), min_size=1, max_size=5),
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=0,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frame_sequence_invariant(self, batches, cuts):
+        frames = [
+            encode_ro_access_report(batch, message_id=i + 1)
+            for i, batch in enumerate(batches)
+        ]
+        wire = b"".join(frames)
+        whole = FrameAccumulator()
+        reference = whole.feed(wire)
+        assert reference == frames
+
+        fragmented = FrameAccumulator()
+        got = []
+        for chunk in _split_at(wire, cuts):
+            got.extend(fragmented.feed(chunk))
+        assert got == reference
+
+    @given(
+        st.lists(_batches(max_size=4), min_size=1, max_size=4),
+        st.binary(min_size=1, max_size=60),
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=0,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_resync_sequence_invariant(self, batches, garbage, cuts):
+        """Even with leading garbage the frame sequence is stable."""
+        frames = [
+            encode_ro_access_report(batch, message_id=i + 1)
+            for i, batch in enumerate(batches)
+        ]
+        wire = garbage + b"".join(frames)
+        whole = FrameAccumulator(on_error="resync")
+        reference = whole.feed(wire)
+        whole.close()
+
+        fragmented = FrameAccumulator(on_error="resync")
+        got = []
+        for chunk in _split_at(wire, cuts):
+            got.extend(fragmented.feed(chunk))
+        fragmented.close()
+        assert got == reference
+        # Real frames after the garbage must all be recovered whenever
+        # the garbage cannot alias a frame header that swallows them.
+        assert len(reference) <= len(frames)
+
+    @given(
+        st.lists(_batches(max_size=5), min_size=1, max_size=4),
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=0,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parser_batches_invariant(self, batches, cuts):
+        frames = [
+            encode_ro_access_report(batch, message_id=i + 1)
+            for i, batch in enumerate(batches)
+        ]
+        wire = b"".join(frames)
+        whole = StreamingLLRPParser()
+        reference = [
+            (mid, cols.to_reports())
+            for mid, cols in whole.feed_columnar(wire)
+        ]
+        fragmented = StreamingLLRPParser()
+        got = []
+        for chunk in _split_at(wire, cuts):
+            got.extend(
+                (mid, cols.to_reports())
+                for mid, cols in fragmented.feed_columnar(chunk)
+            )
+        assert got == reference

@@ -1,0 +1,183 @@
+"""Tests for repro.sim.wire_recording (binary capture format)."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+
+from repro.core.geometry import Point3
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.hardware.llrp import ReportBatch, TagReportData
+from repro.hardware.llrp_stream import StreamingLLRPParser
+from repro.sim.wire_recording import (
+    WIRE_FORMAT_VERSION,
+    WIRE_MAGIC,
+    RecordedFrame,
+    WireRecording,
+)
+
+
+def _report(i: int) -> TagReportData:
+    return TagReportData(
+        epc=f"E20000000000000000{i % 2:06X}",
+        antenna_port=1,
+        channel_index=1 + i % 16,
+        reader_timestamp_us=5_000_000 + 10_000 * i,
+        host_timestamp_us=5_000_040 + 10_000 * i,
+        phase_rad=(i * 0.41) % 6.28,
+        rssi_dbm=-58.0,
+    )
+
+
+def _batch(n: int = 20) -> ReportBatch:
+    return ReportBatch([_report(i) for i in range(n)])
+
+
+@pytest.fixture()
+def recording(calibrated_scenario_2d) -> WireRecording:
+    return WireRecording.capture(
+        _batch(),
+        list(calibrated_scenario_2d.scene.registry),
+        truth=Point3(0.4, 1.9, 0.0),
+        label="unit",
+        reports_per_frame=6,
+    )
+
+
+class TestCapture:
+    def test_frame_grouping(self, recording):
+        assert len(recording) == 4  # 20 reports / 6 per frame
+        parser = StreamingLLRPParser()
+        reports = []
+        for frame in recording.frames:
+            for _mid, batch in parser.feed(frame.payload):
+                reports.extend(batch.reports)
+        expected = _batch().sorted_by_reader_time().reports
+        assert len(reports) == len(expected)
+        for got, want in zip(reports, expected):
+            # Phase is quantized by the wire encoding; everything else
+            # round-trips exactly.
+            assert got.epc == want.epc
+            assert got.reader_timestamp_us == want.reader_timestamp_us
+            assert got.host_timestamp_us == want.host_timestamp_us
+            assert got.phase_rad == pytest.approx(
+                want.phase_rad, abs=2 * math.pi / 4096
+            )
+
+    def test_offsets_relative_to_first_report(self, recording):
+        # Frame offset = its last report's time minus session start.
+        assert recording.frames[0].offset_us == 5 * 10_000
+        assert recording.frames[-1].offset_us == 19 * 10_000
+        assert recording.duration_s == pytest.approx(0.19)
+
+    def test_empty_batch(self):
+        recording = WireRecording.capture(ReportBatch([]), [])
+        assert len(recording) == 0
+        assert recording.duration_s == 0.0
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ConfigurationError):
+            WireRecording.capture(_batch(), [], reports_per_frame=0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecordedFrame(offset_us=-1, payload=b"")
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, recording):
+        restored = WireRecording.from_bytes(recording.to_bytes())
+        assert [f.payload for f in restored.frames] == [
+            f.payload for f in recording.frames
+        ]
+        assert [f.offset_us for f in restored.frames] == [
+            f.offset_us for f in recording.frames
+        ]
+        assert restored.truth == recording.truth
+        assert restored.label == "unit"
+
+    def test_registry_round_trip(self, recording):
+        restored = WireRecording.from_bytes(recording.to_bytes())
+        original = recording.build_registry()
+        rebuilt = restored.build_registry()
+        assert rebuilt.epcs() == original.epcs()
+        for epc in original.epcs():
+            a, b = original.get(epc), rebuilt.get(epc)
+            assert a.disk.center == b.disk.center
+            assert a.model_key == b.model_key
+            assert (a.orientation_profile is None) == (
+                b.orientation_profile is None
+            )
+
+    def test_file_round_trip(self, recording, tmp_path):
+        path = tmp_path / "session.tswire"
+        recording.save(path)
+        assert WireRecording.load(path).truth == recording.truth
+
+    def test_no_truth(self):
+        recording = WireRecording.capture(_batch(4), [])
+        assert WireRecording.from_bytes(recording.to_bytes()).truth is None
+
+
+class TestLoadErrors:
+    def test_bad_magic(self):
+        with pytest.raises(WireProtocolError, match="magic"):
+            WireRecording.from_bytes(b"NOTAWIRE" + b"\x00" * 20)
+
+    def test_truncated_preamble(self):
+        with pytest.raises(WireProtocolError, match="preamble"):
+            WireRecording.from_bytes(WIRE_MAGIC[:4])
+
+    def test_unsupported_version(self, recording):
+        blob = bytearray(recording.to_bytes())
+        struct.pack_into(">H", blob, len(WIRE_MAGIC), 99)
+        with pytest.raises(ConfigurationError, match="version"):
+            WireRecording.from_bytes(bytes(blob))
+
+    def test_truncated_frame_body(self, recording):
+        blob = recording.to_bytes()
+        with pytest.raises(WireProtocolError, match="truncated"):
+            WireRecording.from_bytes(blob[:-3])
+
+    def test_trailing_garbage(self, recording):
+        with pytest.raises(WireProtocolError, match="trailing"):
+            WireRecording.from_bytes(recording.to_bytes() + b"\x00")
+
+    def test_corrupt_header_json(self, recording):
+        blob = bytearray(recording.to_bytes())
+        header_start = len(WIRE_MAGIC) + 6
+        blob[header_start] = 0xFF
+        with pytest.raises(WireProtocolError, match="header"):
+            WireRecording.from_bytes(bytes(blob))
+
+    def test_every_truncation_is_typed(self, recording):
+        blob = recording.to_bytes()
+        for cut in range(len(blob)):
+            try:
+                WireRecording.from_bytes(blob[:cut])
+            except (WireProtocolError, ConfigurationError):
+                pass
+            except struct.error:  # pragma: no cover
+                pytest.fail(f"cut={cut} leaked struct.error")
+
+
+class TestReplaySchedule:
+    def test_delays_scale_with_speed(self, recording):
+        at_1x = [d for d, _ in recording.replay_schedule(1.0)]
+        at_100x = [d for d, _ in recording.replay_schedule(100.0)]
+        assert sum(at_1x) == pytest.approx(recording.duration_s)
+        for slow, fast in zip(at_1x, at_100x):
+            assert fast == pytest.approx(slow / 100.0)
+
+    def test_payload_order_preserved(self, recording):
+        payloads = [p for _, p in recording.replay_schedule(50.0)]
+        assert payloads == [f.payload for f in recording.frames]
+
+    def test_rejects_nonpositive_speed(self, recording):
+        with pytest.raises(ConfigurationError):
+            list(recording.replay_schedule(0.0))
+
+    def test_version_constant(self):
+        assert WIRE_FORMAT_VERSION == 1
