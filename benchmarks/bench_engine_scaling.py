@@ -1,4 +1,5 @@
-"""Engine-scaling benchmark: reference vs batched vs parallel vs adaptive.
+"""Engine-scaling benchmark: reference vs batched vs parallel vs
+adaptive vs harmonic.
 
 Unlike the paper-figure benchmarks (which run under pytest), this is a
 standalone script so CI's perf-smoke job and developers can run it
@@ -14,18 +15,22 @@ directly:
 * the batched engine beats the reference engine,
 * the adaptive engine is at least ``--min-adaptive-speedup`` (default
   2x) faster than the batched engine with its max angular error within
-  the configured tolerance (default 1e-3 rad), and
+  the configured tolerance (default 1e-3 rad),
+* the harmonic engine is at least ``--min-harmonic-speedup`` (default
+  3x) faster than the batched engine with its errors within the dense
+  budgets (the full-sweep medium scenario records >= 5x), and
 * the streaming accumulator's append-only warm fix is strictly cheaper
   than a cold fix in the included microbenchmark.
 
 ``--json`` writes the machine-readable timings; every run also writes
-``benchmarks/results/BENCH_<mode>.json`` so a perf trajectory
-(``BENCH_*.json``, uploaded by the CI perf-smoke job) accumulates
-across PRs.
+``benchmarks/results/BENCH_<mode>.json`` — plus
+``benchmarks/results/BENCH_harmonic.json`` whenever the harmonic engine
+was timed — so a perf trajectory (``BENCH_*.json``, uploaded by the CI
+perf-smoke job) accumulates across PRs.
 
 Every run verifies engine equivalence before timing (dense engines
-within 1e-9, the adaptive engine's peak within its angular tolerance);
-see ``repro/perf/bench.py`` for the workload definition.
+within 1e-9, the adaptive engines' peaks within their angular
+tolerance); see ``repro/perf/bench.py`` for the workload definition.
 """
 
 from __future__ import annotations
@@ -47,6 +52,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Default adaptive-vs-batched speedup the --quick gate requires.
 MIN_ADAPTIVE_SPEEDUP = 2.0
+
+#: Default harmonic-vs-batched speedup the --quick gate requires.  The
+#: full medium scenario measures >= 5x; the trimmed quick scenario (60
+#: snapshots) leaves the FFT overhead proportionally larger, so the CI
+#: floor is 3x.
+MIN_HARMONIC_SPEEDUP = 3.0
 
 
 def main(argv=None) -> int:
@@ -70,8 +81,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engines",
         nargs="+",
-        default=["reference", "batched", "parallel", "adaptive"],
-        help="engines to time (default: reference batched parallel adaptive)",
+        default=["reference", "batched", "parallel", "adaptive", "harmonic"],
+        help="engines to time (default: reference batched parallel "
+        "adaptive harmonic)",
     )
     parser.add_argument("--rounds", type=int, default=None,
                         help="fixes per scenario (default 3; --quick 2)")
@@ -87,6 +99,12 @@ def main(argv=None) -> int:
         type=float,
         default=MIN_ADAPTIVE_SPEEDUP,
         help="adaptive-vs-batched speedup the --quick gate requires",
+    )
+    parser.add_argument(
+        "--min-harmonic-speedup",
+        type=float,
+        default=MIN_HARMONIC_SPEEDUP,
+        help="harmonic-vs-batched speedup the --quick gate requires",
     )
     parser.add_argument(
         "--no-streaming",
@@ -136,6 +154,10 @@ def main(argv=None) -> int:
     trajectory = RESULTS_DIR / f"BENCH_{mode}.json"
     trajectory.write_text(payload)
     print(f"\nwrote {trajectory}")
+    if any(name.startswith("harmonic") for name in args.engines):
+        harmonic_trajectory = RESULTS_DIR / "BENCH_harmonic.json"
+        harmonic_trajectory.write_text(payload)
+        print(f"wrote {harmonic_trajectory}")
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(payload)
@@ -179,6 +201,28 @@ def main(argv=None) -> int:
                         f"engine on the {result.spec.name} scenario "
                         f"(max angular error {adaptive.max_angular_error:.2e}"
                         f" <= {adaptive.error_budget:.0e} rad)"
+                    )
+            harmonic = result.timing("harmonic")
+            if batched is not None and harmonic is not None:
+                ratio = batched.total_s / harmonic.total_s
+                if ratio < args.min_harmonic_speedup:
+                    failures.append(
+                        f"harmonic engine is only {ratio:.2f}x the batched "
+                        f"engine on the {result.spec.name} scenario "
+                        f"(need >= {args.min_harmonic_speedup:.1f}x)"
+                    )
+                elif harmonic.max_angular_error > harmonic.error_budget:
+                    failures.append(
+                        f"harmonic max angular error "
+                        f"{harmonic.max_angular_error:.2e} rad exceeds the "
+                        f"budget {harmonic.error_budget:.0e}"
+                    )
+                else:
+                    print(
+                        f"OK: harmonic engine is {ratio:.2f}x the batched "
+                        f"engine on the {result.spec.name} scenario "
+                        f"(max angular error {harmonic.max_angular_error:.2e}"
+                        f" <= {harmonic.error_budget:.0e} rad)"
                     )
         if streaming is not None:
             if streaming.warm_s >= streaming.cold_s:

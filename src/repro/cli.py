@@ -20,10 +20,13 @@ Commands
     the resilient server and print the fix with its full diagnostics.
 ``bench-engine``
     Time the spectrum engines (reference vs batched vs parallel vs
-    adaptive) over a synthetic multi-disk deployment and print the
-    scaling table; ``--streaming`` adds the cold-vs-append streaming
-    microbenchmark and ``--tolerance`` sets the adaptive engine's
-    angular tolerance.
+    adaptive vs harmonic) over a synthetic multi-disk deployment and
+    print the scaling table; ``--streaming`` adds the cold-vs-append
+    streaming microbenchmark and ``--tolerance`` sets the adaptive
+    engines' angular tolerance.  ``--json`` writes the full
+    ``tagspin-bench/1`` document, including every engine's cache
+    hit/miss/eviction counters and the harmonic engine's
+    truncation-order statistics.
 ``serve``
     Run a supervised fleet serving session over a simulated report
     stream: several deployment actors ingest chunked traffic, serve
@@ -536,9 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument(
         "--engines",
         nargs="+",
-        default=["reference", "batched", "parallel", "adaptive"],
+        default=["reference", "batched", "parallel", "adaptive", "harmonic"],
         help="engines to time (reference, batched, parallel, "
-        "parallel-thread, parallel-process, adaptive, streaming)",
+        "parallel-thread, parallel-process, adaptive, "
+        "adaptive-harmonic, streaming, harmonic, harmonic+native)",
     )
     pb.add_argument("--rounds", type=int, default=3,
                     help="localization fixes per scenario")

@@ -38,7 +38,7 @@ from repro.core.spectrum import (
     AngleSpectrum,
     JointSpectrum,
     SnapshotSeries,
-    combine_spectra,
+    combine_joint_spectra,
     default_azimuth_grid,
     default_polar_grid,
 )
@@ -221,6 +221,26 @@ class TagspinSystem:
         # refines the fused objective directly on its coarse grid.
         return self.engine.fused_azimuth_spectrum(series_list, grid, sigma=sigma)
 
+    def _azimuth_spectra_batch(
+        self,
+        groups: Sequence[Sequence[SnapshotSeries]],
+        enhanced: Optional[bool] = None,
+    ) -> List[AngleSpectrum]:
+        """One fused azimuth spectrum per disk, scheduled as one batch.
+
+        Engines with cross-fix batching (the harmonic engine) stack every
+        disk's grid into a single evaluation so shared FFT work and cache
+        lookups amortize across the whole triangulating set; engines
+        without it loop per disk, which is exactly what the scoring loops
+        used to do inline.
+        """
+        use_enhanced = (
+            self.config.use_enhanced_profile if enhanced is None else enhanced
+        )
+        grid = default_azimuth_grid(self.config.azimuth_resolution)
+        sigma = self.config.sigma if use_enhanced else None
+        return self.engine.fused_azimuth_spectra(groups, grid, sigma=sigma)
+
     def joint_spectrum(
         self,
         series_list: Sequence[SnapshotSeries],
@@ -229,11 +249,13 @@ class TagspinSystem:
     ) -> JointSpectrum:
         """Fused (azimuth x polar) spectrum across the per-channel series.
 
-        Each series is searched coarse-to-fine independently; the fused peak
-        is the power-weighted (circular for azimuth) mean of the per-series
-        refined peaks, and the fused grid is the mean coarse power surface.
-        Non-horizontal disks (the vertical-disk extension) dispatch to the
-        generalized oriented-profile model.
+        The engine owns channel fusion: dense engines combine per-series
+        spectra by mean power with a power-weighted peak mean
+        (:func:`~repro.core.spectrum.combine_joint_spectra`, exactly the
+        fusion this method used to do inline); the adaptive engine
+        refines the fused joint objective with a single coarse-to-fine
+        ladder.  Non-horizontal disks (the vertical-disk extension)
+        dispatch to the generalized oriented-profile model.
         """
         use_enhanced = (
             self.config.use_enhanced_profile if enhanced is None else enhanced
@@ -247,47 +269,21 @@ class TagspinSystem:
         if oriented_basis is not None:
             from repro.core.oriented import compute_oriented_profile
 
-            spectra = [
-                compute_oriented_profile(
-                    series,
-                    oriented_basis[0],
-                    oriented_basis[1],
-                    azimuths,
-                    polars,
-                    sigma=sigma,
-                )
-                for series in series_list
-            ]
-        else:
-            spectra = self.engine.joint_spectra(
-                series_list, azimuths, polars, sigma=sigma
-            )
-        mean_power = np.mean([s.power for s in spectra], axis=0)
-        weights = np.array([max(s.peak_power, 1e-12) for s in spectra])
-        weights = weights / np.sum(weights)
-        peak_azimuth = float(
-            np.mod(
-                np.angle(
-                    np.sum(
-                        weights * np.exp(1j * np.array([s.peak_azimuth for s in spectra]))
+            return combine_joint_spectra(
+                [
+                    compute_oriented_profile(
+                        series,
+                        oriented_basis[0],
+                        oriented_basis[1],
+                        azimuths,
+                        polars,
+                        sigma=sigma,
                     )
-                ),
-                2.0 * np.pi,
+                    for series in series_list
+                ]
             )
-        )
-        peak_polar = float(
-            np.sum(weights * np.array([s.peak_polar for s in spectra]))
-        )
-        # The fused surface lives on the grid the engine actually
-        # evaluated — the adaptive engine returns coarse grids, so the
-        # requested dense grids would misdescribe ``mean_power``.
-        return JointSpectrum(
-            azimuth_grid=spectra[0].azimuth_grid,
-            polar_grid=spectra[0].polar_grid,
-            power=mean_power,
-            peak_azimuth=peak_azimuth,
-            peak_polar=peak_polar,
-            peak_power=float(np.max(mean_power)),
+        return self.engine.fused_joint_spectrum(
+            series_list, azimuths, polars, sigma=sigma
         )
 
     # ------------------------------------------------------------------
@@ -322,21 +318,25 @@ class TagspinSystem:
         ]
         locator = TagspinLocator2D()
 
-        spectra = [self.azimuth_spectrum(all_series[epc]) for epc in epcs]
+        spectra = self._azimuth_spectra_batch(
+            [all_series[epc] for epc in epcs]
+        )
         fix = locator.locate(centers, spectra)
 
         if self.config.orientation_calibration and any(
             self.registry.get(epc).orientation_profile is not None for epc in epcs
         ):
             coarse = Point3(fix.position.x, fix.position.y, 0.0)
-            refined = []
+            corrected_groups = []
             for epc in epcs:
                 record = self.registry.get(epc)
-                corrected = [
-                    self._orientation_corrected(record, s, coarse)
-                    for s in all_series[epc]
-                ]
-                refined.append(self.azimuth_spectrum(corrected))
+                corrected_groups.append(
+                    [
+                        self._orientation_corrected(record, s, coarse)
+                        for s in all_series[epc]
+                    ]
+                )
+            refined = self._azimuth_spectra_batch(corrected_groups)
             fix = locator.locate(centers, refined)
         return fix
 
@@ -399,9 +399,14 @@ class TagspinSystem:
             raise InsufficientDataError(
                 "fewer than two disks produced usable phase series"
             )
-        spectra = {
-            epc: self.azimuth_spectrum(all_series[epc]) for epc in usable
-        }
+        spectra = dict(
+            zip(
+                usable,
+                self._azimuth_spectra_batch(
+                    [all_series[epc] for epc in usable]
+                ),
+            )
+        )
         scored = self._score_disks(usable, all_series, spectra)
         kept, gate_excluded = select_disks(scored, self.config.gating)
         qualities = scored + starved
@@ -447,9 +452,9 @@ class TagspinSystem:
             self.registry.get(epc).disk.center.horizontal() for epc in epcs
         ]
         locator = TagspinLocator2D()
-        spectra = [
-            self.azimuth_spectrum(all_series[epc], enhanced) for epc in epcs
-        ]
+        spectra = self._azimuth_spectra_batch(
+            [all_series[epc] for epc in epcs], enhanced
+        )
         fix = locator.locate(centers, spectra)
 
         if self.config.orientation_calibration and any(
@@ -457,14 +462,16 @@ class TagspinSystem:
             for epc in epcs
         ):
             coarse = Point3(fix.position.x, fix.position.y, 0.0)
-            refined = []
+            corrected_groups = []
             for epc in epcs:
                 record = self.registry.get(epc)
-                corrected = [
-                    self._orientation_corrected(record, s, coarse)
-                    for s in all_series[epc]
-                ]
-                refined.append(self.azimuth_spectrum(corrected, enhanced))
+                corrected_groups.append(
+                    [
+                        self._orientation_corrected(record, s, coarse)
+                        for s in all_series[epc]
+                    ]
+                )
+            refined = self._azimuth_spectra_batch(corrected_groups, enhanced)
             fix = locator.locate(centers, refined)
         return fix
 

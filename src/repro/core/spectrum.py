@@ -31,7 +31,7 @@ from repro.constants import (
     RELATIVE_PHASE_STD_RAD,
 )
 from repro.core.phase import relative_phase_model, wrap_phase_signed
-from repro.errors import InsufficientDataError
+from repro.errors import DTypeError, InsufficientDataError
 
 #: Rows of the (polar x azimuth) grid evaluated per chunk, bounding memory.
 _POLAR_CHUNK = 8
@@ -148,6 +148,36 @@ def _residual_matrix(
     return np.asarray(wrap_phase_signed(measured - theoretical), dtype=float)
 
 
+def harmonic_coefficients(
+    series: SnapshotSeries, polar: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cos/sin decomposition of the theoretical relative phase (Def 4.1).
+
+    The phase model is a pure sampled cosine in the candidate azimuth:
+
+        c_i(phi) = A_i * cos(phi) + B_i * sin(phi)
+
+    with ``A_i = s*cos(gamma)*(cos(alpha_0) - cos(alpha_i))``,
+    ``B_i = s*cos(gamma)*(sin(alpha_0) - sin(alpha_i))``,
+    ``alpha_i = omega*t_i + phase0`` and ``s = 4*pi*r/lambda``.  This is
+    the per-snapshot harmonic form :mod:`repro.perf.harmonic` feeds into
+    the Jacobi-Anger/FFT evaluation; it is algebraically identical to
+    :func:`repro.core.phase.relative_phase_model` (cosine difference
+    expanded in ``phi``).  Returns ``(A, B)``, each of shape
+    ``(len(series),)``; ``A[0] == B[0] == 0`` by construction.
+    """
+    alpha = series.angular_speed * series.times + series.phase0
+    scale = (
+        4.0 * np.pi * series.radius / series.wavelength * np.cos(polar)
+    )
+    cos_alpha = np.cos(alpha)
+    sin_alpha = np.sin(alpha)
+    return (
+        scale * (cos_alpha[0] - cos_alpha),
+        scale * (sin_alpha[0] - sin_alpha),
+    )
+
+
 def _gaussian_weights(residuals: np.ndarray, sigma: float) -> np.ndarray:
     """Gaussian PDF of the wrapped residuals, normalized to peak 1.
 
@@ -156,6 +186,36 @@ def _gaussian_weights(residuals: np.ndarray, sigma: float) -> np.ndarray:
     only differ by this constant factor.
     """
     return np.exp(-0.5 * np.square(residuals / sigma))
+
+
+def _coerce_residuals(residuals: np.ndarray) -> np.ndarray:
+    """Validate/coerce a residual array to float64 with a typed error.
+
+    Complex input means the caller passed phasors (``exp(1j*res)``)
+    instead of phases — taking its "mean magnitude" silently produces a
+    wrong profile, so it is rejected outright.  Real inputs of lower
+    precision (float32, integers, bool) are upcast to float64 so every
+    engine computes in the same precision.
+    """
+    array = np.asarray(residuals)
+    if np.iscomplexobj(array):
+        raise DTypeError(
+            f"residuals must be real-valued wrapped phases [rad], got "
+            f"complex dtype {array.dtype}; pass phase residuals, not "
+            f"phasors"
+        )
+    if array.dtype != np.float64:
+        if not (
+            np.issubdtype(array.dtype, np.floating)
+            or np.issubdtype(array.dtype, np.integer)
+            or array.dtype == np.bool_
+        ):
+            raise DTypeError(
+                f"residuals must be a numeric array of wrapped phases "
+                f"[rad], got dtype {array.dtype}"
+            )
+        array = array.astype(np.float64)
+    return array
 
 
 def power_from_residuals(
@@ -167,8 +227,11 @@ def power_from_residuals(
     a positive ``sigma`` computes the enhanced likelihood-weighted profile
     ``R`` (Definition 4.1).  This is the single arithmetic kernel shared by
     the reference profiles and :mod:`repro.perf`'s batched engine, so both
-    paths are bit-for-bit identical by construction.
+    paths are bit-for-bit identical by construction.  Input dtype is
+    validated: complex arrays raise :class:`repro.errors.DTypeError` and
+    lower-precision real arrays are upcast to float64.
     """
+    residuals = _coerce_residuals(residuals)
     if sigma is None:
         return np.abs(np.mean(np.exp(1j * residuals), axis=-1))
     residuals = _centered(residuals)
@@ -447,6 +510,46 @@ def combine_spectra(spectra: Sequence[AngleSpectrum]) -> AngleSpectrum:
     power = np.mean([s.power for s in spectra], axis=0)
     peak_azimuth, peak_power = _refine_peak_circular(grid, power)
     return AngleSpectrum(grid, power, peak_azimuth, peak_power)
+
+
+def combine_joint_spectra(spectra: Sequence[JointSpectrum]) -> JointSpectrum:
+    """Combine per-channel joint spectra of the same link.
+
+    The fused surface is the mean power grid; the fused peak is the
+    power-weighted mean of the per-channel peaks — circular for azimuth,
+    plain for polar — exactly the fusion the pipeline applies to the
+    3D/joint paths.  All spectra must share the grids of the first
+    (consumers pass one engine's outputs, which guarantees this); the
+    fused grids are the first spectrum's, so adaptive engines' coarse
+    grids survive fusion undistorted.
+    """
+    if not spectra:
+        raise ValueError("no joint spectra to combine")
+    mean_power = np.mean([s.power for s in spectra], axis=0)
+    weights = np.array([max(s.peak_power, 1e-12) for s in spectra])
+    weights = weights / np.sum(weights)
+    peak_azimuth = float(
+        np.mod(
+            np.angle(
+                np.sum(
+                    weights
+                    * np.exp(1j * np.array([s.peak_azimuth for s in spectra]))
+                )
+            ),
+            2.0 * np.pi,
+        )
+    )
+    peak_polar = float(
+        np.sum(weights * np.array([s.peak_polar for s in spectra]))
+    )
+    return JointSpectrum(
+        azimuth_grid=spectra[0].azimuth_grid,
+        polar_grid=spectra[0].polar_grid,
+        power=mean_power,
+        peak_azimuth=peak_azimuth,
+        peak_polar=peak_polar,
+        peak_power=float(np.max(mean_power)),
+    )
 
 
 def peak_sharpness(spectrum: AngleSpectrum, window: float = np.deg2rad(20)) -> float:

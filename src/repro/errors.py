@@ -58,6 +58,16 @@ class WireProtocolError(ConfigurationError):
         self.offset = offset
 
 
+class DTypeError(ConfigurationError):
+    """A numeric kernel received an array with an unusable dtype.
+
+    Raised by :func:`repro.core.spectrum.power_from_residuals` when the
+    residual array is complex (phasors instead of phases) or not numeric
+    at all — conditions that previously produced silently wrong
+    magnitudes.  Lower-precision real dtypes are upcast, not rejected.
+    """
+
+
 class InsufficientDataError(TransientError):
     """Not enough tag reads were available to run an algorithm."""
 

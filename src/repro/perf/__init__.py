@@ -11,12 +11,20 @@ Public surface:
   with a serial fallback;
 * :class:`~repro.perf.adaptive.AdaptiveEngine` — coarse-to-fine basin
   search down to an angular tolerance, dense fallback on flat spectra;
+* :class:`~repro.perf.harmonic.HarmonicEngine` — Jacobi-Anger harmonic
+  decomposition with batched inverse-FFT grid evaluation and cross-fix
+  steering-phasor caching;
+* :mod:`~repro.perf.native` — optional numba kernels behind the
+  harmonic engine (:data:`~repro.perf.native.NATIVE_AVAILABLE`,
+  :func:`~repro.perf.native.native_status`) with a transparent
+  pure-NumPy fallback;
 * :class:`~repro.perf.streaming.StreamingEngine` /
   :class:`~repro.perf.streaming.StreamingSpectrumAccumulator` —
   incremental per-link residual accumulation for append-only batches;
 * :func:`~repro.perf.engine.create_engine` — resolve ``engine=`` specs
   (``"reference"`` / ``"batched"`` / ``"parallel"`` / ``"adaptive"`` /
-  ``"streaming"`` / instance).
+  ``"adaptive-harmonic"`` / ``"streaming"`` / ``"harmonic"`` /
+  ``"harmonic+native"`` / instance).
 """
 
 from repro.perf.adaptive import AdaptiveEngine
@@ -28,6 +36,8 @@ from repro.perf.engine import (
     SpectrumEngine,
     create_engine,
 )
+from repro.perf.harmonic import HarmonicEngine
+from repro.perf.native import NATIVE_AVAILABLE, native_status
 from repro.perf.parallel import ParallelEngine
 from repro.perf.steering import SteeringCache
 from repro.perf.streaming import StreamingEngine, StreamingSpectrumAccumulator
@@ -37,7 +47,9 @@ __all__ = [
     "BatchedEngine",
     "CacheStats",
     "EngineSpec",
+    "HarmonicEngine",
     "LRUCache",
+    "NATIVE_AVAILABLE",
     "ParallelEngine",
     "ReferenceEngine",
     "SpectrumEngine",
@@ -45,4 +57,5 @@ __all__ = [
     "StreamingEngine",
     "StreamingSpectrumAccumulator",
     "create_engine",
+    "native_status",
 ]

@@ -55,6 +55,7 @@ from repro.core.spectrum import (
     SnapshotSeries,
     _check_series,
     _refine_peak_clamped,
+    combine_joint_spectra,
     combine_spectra,
     peak_sharpness,
     power_from_residuals,
@@ -112,8 +113,13 @@ class AdaptiveEngine(SpectrumEngine):
     basin_prune : basins below this fraction of the best basin's coarse
         power are not refined.
     dense : the dense engine used for coarse passes and the flat-profile
-        fallback (default: a fresh :class:`BatchedEngine`); its caches
-        make repeated fixes over an unchanged buffer nearly free.
+        fallback (default: a fresh :class:`BatchedEngine`; pass a
+        :class:`~repro.perf.harmonic.HarmonicEngine` to get
+        ``create_engine("adaptive-harmonic")``'s composition, whose
+        coarse full-circle grids stay on the FFT path via exact alias
+        folding).  Any engine exposing the ``_joint_power`` hook works;
+        its caches make repeated fixes over an unchanged buffer nearly
+        free.
     spectrum_budget : float-element budget of the finished adaptive
         spectrum cache.
     """
@@ -128,7 +134,7 @@ class AdaptiveEngine(SpectrumEngine):
         refine_factor: int = DEFAULT_REFINE_FACTOR,
         min_sharpness: float = DEFAULT_MIN_SHARPNESS,
         basin_prune: float = DEFAULT_BASIN_PRUNE,
-        dense: Optional[BatchedEngine] = None,
+        dense: Optional[SpectrumEngine] = None,
         spectrum_budget: int = DEFAULT_ADAPTIVE_SPECTRUM_BUDGET,
     ) -> None:
         if not np.isfinite(tolerance) or tolerance <= 0:
@@ -226,6 +232,20 @@ class AdaptiveEngine(SpectrumEngine):
         )
         return power_from_residuals(residuals, sigma)
 
+    def _mean_joint_power(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuths: np.ndarray,
+        polars: np.ndarray,
+        sigma: Optional[float],
+    ) -> np.ndarray:
+        total: Optional[np.ndarray] = None
+        for series in series_list:
+            power = self._joint_power(series, azimuths, polars, sigma)
+            total = power if total is None else total + power
+        assert total is not None
+        return total / float(len(series_list))
+
     # ------------------------------------------------------------------
     # Basin selection
     # ------------------------------------------------------------------
@@ -311,21 +331,27 @@ class AdaptiveEngine(SpectrumEngine):
 
     def _refine_joint_basin(
         self,
-        series: SnapshotSeries,
+        series_list: Sequence[SnapshotSeries],
         azimuth: float,
         polar: float,
         azimuth_step: float,
         polar_step: float,
         sigma: Optional[float],
     ) -> Tuple[float, float, float]:
-        """Refine one joint basin; returns (azimuth, polar, power)."""
+        """Refine one fused joint basin; returns (azimuth, polar, power).
+
+        The ladder descends on the *mean* power of ``series_list`` — one
+        refinement per basin regardless of the channel count, so the
+        fused 3D path pays one ladder where it used to pay one per
+        channel.
+        """
         self.refinements += 1
         while True:
             azimuths = azimuth + azimuth_step * self._offsets
             polars = np.clip(
                 polar + polar_step * self._offsets, -np.pi / 2.0, np.pi / 2.0
             )
-            power = self._joint_power(series, azimuths, polars, sigma)
+            power = self._mean_joint_power(series_list, azimuths, polars, sigma)
             row, col = np.unravel_index(int(np.argmax(power)), power.shape)
             azimuth = float(azimuths[col])
             polar = float(polars[row])
@@ -493,7 +519,110 @@ class AdaptiveEngine(SpectrumEngine):
                 )
                 refined = [
                     self._refine_joint_basin(
-                        series,
+                        [series],
+                        float(coarse_azimuths[col]),
+                        float(coarse_polars[row]),
+                        azimuth_step,
+                        polar_step,
+                        sigma,
+                    )
+                    for row, col in self._joint_basins(power)
+                ]
+                peak_azimuth, peak_polar, peak_power = max(
+                    refined, key=lambda p: p[2]
+                )
+                spectrum = JointSpectrum(
+                    azimuth_grid=coarse_azimuths,
+                    polar_grid=coarse_polars,
+                    power=power,
+                    peak_azimuth=peak_azimuth,
+                    peak_polar=peak_polar,
+                    peak_power=peak_power,
+                )
+        self._spectra.put(cache_key, spectrum, cost=spectrum.power.size)
+        return spectrum
+
+    def fused_joint_spectrum(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> JointSpectrum:
+        """Channel-fused adaptive (azimuth x polar) spectrum.
+
+        Basin selection runs on the *mean* coarse power surface of all
+        channels and each basin descends one ladder on the fused joint
+        objective — one refinement per basin regardless of how many
+        channels the link carries, where the per-channel path paid one
+        ladder per channel and averaged the results afterwards (which
+        also does not track the dense fused peak).
+        """
+        if not series_list:
+            raise ValueError("no snapshot series to fuse")
+        for series in series_list:
+            _check_series(series)
+        if sigma is not None and sigma <= 0:
+            raise ValueError("sigma must be positive")
+        azimuths = np.asarray(azimuth_grid, dtype=float)
+        polars = np.asarray(polar_grid, dtype=float)
+        cache_key = (
+            "adaptive-joint-fused",
+            tuple(self._series_key(s) for s in series_list),
+            grid_key(azimuths, polars),
+            self._sigma_key(sigma),
+            quantize_scalar(self.tolerance),
+        )
+        cached = self._spectra.get(cache_key)
+        if cached is not None:
+            return cached
+        azimuth_factor = self._factor(azimuths, MIN_COARSE_AZIMUTH_POINTS)
+        polar_factor = self._factor(polars, MIN_COARSE_POLAR_POINTS)
+        if azimuth_factor == 1 and polar_factor == 1:
+            spectrum = combine_joint_spectra(
+                self._dense.joint_spectra(series_list, azimuths, polars, sigma)
+            )
+        else:
+            coarse_azimuths = azimuths[::azimuth_factor]
+            coarse_polars = polars[::polar_factor]
+            total: Optional[np.ndarray] = None
+            for series in series_list:
+                power = self._dense._joint_power(
+                    series, coarse_azimuths, coarse_polars, sigma
+                )
+                total = power if total is None else total + power
+            assert total is not None
+            power = total / float(len(series_list))
+            peak = float(np.max(power))
+            mean = float(np.mean(power))
+            if peak / max(mean, 1e-12) < self.min_sharpness:
+                # Dense fallback: trust the dense fused peak, but keep
+                # the *coarse* mean surface so the spectrum's grids match
+                # what this engine actually evaluated.
+                self.dense_fallbacks += 1
+                dense = combine_joint_spectra(
+                    self._dense.joint_spectra(
+                        series_list, azimuths, polars, sigma
+                    )
+                )
+                spectrum = JointSpectrum(
+                    azimuth_grid=coarse_azimuths,
+                    polar_grid=coarse_polars,
+                    power=power,
+                    peak_azimuth=dense.peak_azimuth,
+                    peak_polar=dense.peak_polar,
+                    peak_power=dense.peak_power,
+                )
+            else:
+                azimuth_step = float(coarse_azimuths[1] - coarse_azimuths[0])
+                polar_step = (
+                    float(coarse_polars[1] - coarse_polars[0])
+                    if coarse_polars.size > 1
+                    else azimuth_step
+                )
+                refined = [
+                    self._refine_joint_basin(
+                        series_list,
                         float(coarse_azimuths[col]),
                         float(coarse_polars[row]),
                         azimuth_step,

@@ -239,14 +239,14 @@ def _equivalence_errors(
 
 
 def _engine_for(name: str, tolerance: Optional[float]) -> SpectrumEngine:
-    if name == "adaptive":
+    if name in ("adaptive", "adaptive-harmonic"):
         return create_engine(name, tolerance=tolerance)
     return create_engine(name)
 
 
 def run_scenario(
     spec: ScenarioSpec,
-    engines: Sequence[str] = ("reference", "batched", "parallel"),
+    engines: Sequence[str] = ("reference", "batched", "parallel", "harmonic"),
     rounds: int = 3,
     seed: int = 2016,
     sigma: float = BENCH_SIGMA,
@@ -254,9 +254,12 @@ def run_scenario(
 ) -> ScenarioResult:
     """Time every engine over ``rounds`` fixes of one scenario.
 
-    ``tolerance`` configures the adaptive engine's angular tolerance,
-    which is also its verification budget; dense engines are always held
-    to ``DENSE_ERROR_BUDGET``.
+    ``tolerance`` configures the adaptive engines' angular tolerance,
+    which is also their verification budget; dense engines are held to
+    ``DENSE_ERROR_BUDGET`` — or to their own declared ``power_budget``
+    when they carry one (the harmonic engine declares 1e-9 but is not
+    bit-identical: its FFT-realized steering phasors round differently
+    than the reference's direct cosines).
     """
     if rounds < 1:
         raise ValueError("rounds must be positive")
@@ -275,6 +278,9 @@ def run_scenario(
         angular_budget = float(
             getattr(check_engine, "tolerance", DENSE_ERROR_BUDGET)
         )
+        power_budget = float(
+            getattr(check_engine, "power_budget", DENSE_ERROR_BUDGET)
+        )
         try:
             if isinstance(check_engine, ReferenceEngine):
                 max_error, max_angular = 0.0, 0.0
@@ -284,10 +290,10 @@ def run_scenario(
                 )
         finally:
             check_engine.close()
-        if not np.isnan(max_error) and max_error > DENSE_ERROR_BUDGET:
+        if not np.isnan(max_error) and max_error > power_budget:
             raise AssertionError(
                 f"engine {name!r} power deviates from the reference by "
-                f"{max_error:.3e} (> {DENSE_ERROR_BUDGET:.0e}); refusing "
+                f"{max_error:.3e} (> {power_budget:.0e}); refusing "
                 f"to benchmark wrong spectra"
             )
         if max_angular > angular_budget:
@@ -327,7 +333,7 @@ def run_scenario(
 
 def run_engine_scaling(
     scales: Sequence[str] = ("small", "medium", "large"),
-    engines: Sequence[str] = ("reference", "batched", "parallel"),
+    engines: Sequence[str] = ("reference", "batched", "parallel", "harmonic"),
     rounds: int = 3,
     seed: int = 2016,
     snapshots: Optional[int] = None,

@@ -39,6 +39,7 @@ from repro.core.spectrum import (
     AngleSpectrum,
     JointSpectrum,
     SnapshotSeries,
+    combine_joint_spectra,
     combine_spectra,
     compute_q_profile,
     compute_q_profile_3d,
@@ -116,6 +117,45 @@ class SpectrumEngine:
             self.azimuth_spectra(series_list, azimuth_grid, sigma)
         )
 
+    def fused_azimuth_spectra(
+        self,
+        groups: Sequence[Sequence[SnapshotSeries]],
+        azimuth_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> List[AngleSpectrum]:
+        """One channel-fused azimuth spectrum per link group.
+
+        This is the pipeline's multi-disk scoring shape: every disk
+        contributes one group of per-channel series and wants one fused
+        spectrum back.  The default fuses each group independently;
+        engines with cross-fix batching (the harmonic engine) override
+        this so all groups' grids land in one stacked evaluation.
+        """
+        return [
+            self.fused_azimuth_spectrum(group, azimuth_grid, sigma)
+            for group in groups
+        ]
+
+    def fused_joint_spectrum(
+        self,
+        series_list: Sequence[SnapshotSeries],
+        azimuth_grid: np.ndarray,
+        polar_grid: np.ndarray,
+        sigma: Optional[float] = None,
+    ) -> JointSpectrum:
+        """Channel-fused (azimuth x polar) spectrum of one physical link.
+
+        The default evaluates per-series joint spectra and fuses them
+        with :func:`~repro.core.spectrum.combine_joint_spectra` (mean
+        power surface, power-weighted peak mean) — exactly what the
+        pipeline used to do inline.  The adaptive engine overrides this
+        to refine the *fused* joint objective with a single coarse-to-
+        fine ladder instead of one ladder per channel.
+        """
+        return combine_joint_spectra(
+            self.joint_spectra(series_list, azimuth_grid, polar_grid, sigma)
+        )
+
     def invalidate_streams(self) -> None:
         """Drop incremental per-stream state, if the engine keeps any.
 
@@ -184,21 +224,30 @@ def create_engine(
     ``None`` and ``"reference"`` give the reference engine, ``"batched"``
     the cached vectorized engine, ``"parallel"`` (or
     ``"parallel-thread"`` / ``"parallel-process"``) a worker-pool fan-out
-    over a batched engine, ``"adaptive"`` the coarse-to-fine solver and
-    ``"streaming"`` the incremental accumulator over a batched engine.
-    Instances pass through unchanged.
+    over a batched engine, ``"adaptive"`` the coarse-to-fine solver,
+    ``"streaming"`` the incremental accumulator over a batched engine,
+    ``"harmonic"`` the Jacobi-Anger/FFT engine (``"harmonic+native"``
+    additionally *requires* the numba backend and fails loudly when it
+    is absent) and ``"adaptive-harmonic"`` the coarse-to-fine solver
+    with the harmonic engine as its dense stage.  Instances pass through
+    unchanged.
 
-    ``tolerance`` sets the adaptive engine's angular tolerance [rad]; it
-    is only meaningful with ``spec="adaptive"`` and rejected elsewhere so
-    a silently ignored accuracy knob can't masquerade as honored.
+    ``tolerance`` sets the adaptive engines' angular tolerance [rad]; it
+    is only meaningful with ``spec="adaptive"`` /
+    ``"adaptive-harmonic"`` and rejected elsewhere so a silently ignored
+    accuracy knob can't masquerade as honored.
     """
     if isinstance(spec, str):
         normalized: Optional[str] = spec.strip().lower()
     else:
         normalized = None
-    if tolerance is not None and normalized != "adaptive":
+    if tolerance is not None and normalized not in (
+        "adaptive",
+        "adaptive-harmonic",
+    ):
         raise ValueError(
-            "tolerance is only supported by the 'adaptive' engine"
+            "tolerance is only supported by the 'adaptive' and "
+            "'adaptive-harmonic' engines"
         )
     if spec is None:
         return ReferenceEngine()
@@ -206,6 +255,7 @@ def create_engine(
         return spec
     from repro.perf.adaptive import AdaptiveEngine
     from repro.perf.batched import BatchedEngine
+    from repro.perf.harmonic import HarmonicEngine
     from repro.perf.parallel import ParallelEngine
     from repro.perf.streaming import StreamingEngine
 
@@ -217,14 +267,24 @@ def create_engine(
         return ParallelEngine(mode="thread")
     if normalized == "parallel-process":
         return ParallelEngine(mode="process")
-    if normalized == "adaptive":
-        if tolerance is None:
-            return AdaptiveEngine()
-        return AdaptiveEngine(tolerance=tolerance)
+    if normalized in ("adaptive", "adaptive-harmonic"):
+        dense = HarmonicEngine() if normalized == "adaptive-harmonic" else None
+        kwargs = {} if tolerance is None else {"tolerance": tolerance}
+        if dense is not None:
+            kwargs["dense"] = dense
+        engine = AdaptiveEngine(**kwargs)
+        if normalized == "adaptive-harmonic":
+            engine.name = "adaptive-harmonic"
+        return engine
     if normalized == "streaming":
         return StreamingEngine()
+    if normalized == "harmonic":
+        return HarmonicEngine()
+    if normalized == "harmonic+native":
+        return HarmonicEngine(use_native=True)
     raise ValueError(
         f"unknown spectrum engine {spec!r}; expected 'reference', "
         f"'batched', 'parallel', 'parallel-thread', 'parallel-process', "
-        f"'adaptive' or 'streaming'"
+        f"'adaptive', 'adaptive-harmonic', 'streaming', 'harmonic' or "
+        f"'harmonic+native'"
     )

@@ -1,0 +1,284 @@
+"""Optional compiled kernels with a transparent pure-NumPy fallback.
+
+This module hosts the two hot arithmetic kernels of the harmonic engine
+in both a numba-compiled and a pure-NumPy form:
+
+* :func:`power_from_residuals` — a drop-in for
+  :func:`repro.core.spectrum.power_from_residuals` that fuses the
+  wrap/center/weight/accumulate passes into one parallel loop when numba
+  is importable, and delegates to the reference kernel otherwise.
+* :func:`harmonic_accumulate` — the weighted coherent accumulation of a
+  phasor matrix (the output of the harmonic engine's batched inverse
+  FFT) into a power profile plus the complex per-column sums.
+
+numba is strictly optional: it is **not** a project dependency, the
+import is guarded, and every public function produces results within the
+engines' error budgets (``tests/perf`` parity-tests both paths).  The
+compiled path can also be vetoed without uninstalling anything by
+setting ``TAGSPIN_DISABLE_NATIVE=1`` in the environment — CI uses this
+to prove the fallback stays green.
+
+Numerical note: the compiled R path wraps centered residuals with
+``x - 2*pi*rint(x / 2*pi)`` instead of the reference's
+``wrap_phase_signed``.  Both map to the same branch of ``(-pi, pi]`` up
+to the half-period boundary, where the Gaussian weight is ~exp(-250) at
+the default sigma, so the results agree to ~1e-12 — inside every
+per-engine budget but not bit-identical, which is why the batched and
+streaming engines (whose contract *is* bit-identity) never use this
+module.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.spectrum import (
+    power_from_residuals as _reference_power_from_residuals,
+)
+from repro.core.spectrum import _coerce_residuals
+
+TWO_PI = 2.0 * np.pi
+
+
+def _disabled_by_env() -> bool:
+    value = os.environ.get("TAGSPIN_DISABLE_NATIVE", "")
+    return value.strip().lower() in ("1", "true", "yes", "on")
+
+
+#: True when the numba-compiled kernels are importable *and* not vetoed
+#: via ``TAGSPIN_DISABLE_NATIVE`` (evaluated at import time).
+NATIVE_AVAILABLE = False
+
+if not _disabled_by_env():  # pragma: no branch
+    try:  # pragma: no cover - exercised only where numba is installed
+        from numba import njit, prange
+
+        NATIVE_AVAILABLE = True
+    except Exception:  # pragma: no cover - the baked image has no numba
+        NATIVE_AVAILABLE = False
+
+
+def native_status() -> dict:
+    """Machine-readable availability of the compiled backend."""
+    return {
+        "available": NATIVE_AVAILABLE,
+        "disabled_by_env": _disabled_by_env(),
+    }
+
+
+if NATIVE_AVAILABLE:  # pragma: no cover - compiled only where numba exists
+
+    @njit(cache=True, parallel=True)
+    def _power_q_njit(residuals):
+        rows, count = residuals.shape
+        out = np.empty(rows)
+        for r in prange(rows):
+            sum_re = 0.0
+            sum_im = 0.0
+            for i in range(count):
+                sum_re += np.cos(residuals[r, i])
+                sum_im += np.sin(residuals[r, i])
+            out[r] = np.hypot(sum_re, sum_im) / count
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _power_r_njit(residuals, sigma):
+        rows, count = residuals.shape
+        out = np.empty(rows)
+        inv_sigma = 1.0 / sigma
+        for r in prange(rows):
+            cos_row = np.empty(count)
+            sin_row = np.empty(count)
+            sum_re = 0.0
+            sum_im = 0.0
+            for i in range(count):
+                cos_row[i] = np.cos(residuals[r, i])
+                sin_row[i] = np.sin(residuals[r, i])
+                sum_re += cos_row[i]
+                sum_im += sin_row[i]
+            mu = np.arctan2(sum_im, sum_re)
+            acc_re = 0.0
+            acc_im = 0.0
+            for i in range(count):
+                x = residuals[r, i] - mu
+                x -= TWO_PI * np.rint(x / TWO_PI)
+                w = np.exp(-0.5 * (x * inv_sigma) ** 2)
+                acc_re += w * cos_row[i]
+                acc_im += w * sin_row[i]
+            out[r] = np.hypot(acc_re, acc_im) / count
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _harmonic_r_njit(
+        p_re, p_im, s_re, s_im, coeff_a, coeff_b, cos_g, sin_g, measured, sigma
+    ):
+        count, grid = s_re.shape
+        power = np.empty(grid)
+        sum_re = np.empty(grid)
+        sum_im = np.empty(grid)
+        inv_sigma = 1.0 / sigma
+        for k in prange(grid):
+            col_re = 0.0
+            col_im = 0.0
+            for i in range(count):
+                col_re += p_re[i] * s_re[i, k] - p_im[i] * s_im[i, k]
+                col_im += p_re[i] * s_im[i, k] + p_im[i] * s_re[i, k]
+            mu = np.arctan2(col_im, col_re)
+            acc_re = 0.0
+            acc_im = 0.0
+            for i in range(count):
+                theory = coeff_a[i] * cos_g[k] + coeff_b[i] * sin_g[k]
+                x = measured[i] - theory - mu
+                x -= TWO_PI * np.rint(x / TWO_PI)
+                w = np.exp(-0.5 * (x * inv_sigma) ** 2)
+                acc_re += w * (p_re[i] * s_re[i, k] - p_im[i] * s_im[i, k])
+                acc_im += w * (p_re[i] * s_im[i, k] + p_im[i] * s_re[i, k])
+            power[k] = np.hypot(acc_re, acc_im) / count
+            sum_re[k] = col_re
+            sum_im[k] = col_im
+        return power, sum_re, sum_im
+
+
+def power_from_residuals(
+    residuals: np.ndarray, sigma: Optional[float] = None
+) -> np.ndarray:
+    """Drop-in for the reference kernel; compiled when numba is present.
+
+    Semantics match :func:`repro.core.spectrum.power_from_residuals`:
+    ``sigma=None`` is the coherent mean Q, a positive ``sigma`` the
+    centered Gaussian-weighted R.  Without numba this *is* the reference
+    kernel; with numba the fused loop agrees within ~1e-12 (see module
+    docstring).
+    """
+    if not NATIVE_AVAILABLE:
+        return _reference_power_from_residuals(residuals, sigma)
+    if sigma is not None and sigma <= 0:
+        raise ValueError("sigma must be positive")
+    coerced = _coerce_residuals(residuals)
+    lead_shape = coerced.shape[:-1]
+    flat = np.ascontiguousarray(
+        coerced.reshape(-1, coerced.shape[-1])
+        if coerced.ndim != 1
+        else coerced.reshape(1, -1)
+    )
+    if sigma is None:
+        power = _power_q_njit(flat)
+    else:
+        power = _power_r_njit(flat, float(sigma))
+    if coerced.ndim == 1:
+        return np.float64(power[0])
+    return power.reshape(lead_shape)
+
+
+def _harmonic_accumulate_numpy(
+    phasor: np.ndarray,
+    steering: np.ndarray,
+    coefficients: Optional[np.ndarray],
+    trig: Optional[np.ndarray],
+    measured: Optional[np.ndarray],
+    sigma: Optional[float],
+    work: Optional[np.ndarray],
+    cwork: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    count = phasor.size
+    colsum = phasor @ steering  # one BLAS zgemv
+    if sigma is None:
+        return np.abs(colsum) / count, colsum
+    if work is None:
+        work = np.empty((2,) + steering.shape)
+    if cwork is None:
+        cwork = np.empty(steering.shape, dtype=np.complex128)
+    # Build the *centered* residuals directly in fractional turns with a
+    # single rank-4 matmul: x_ik / 2pi = (m_i - A_i cos(phi_k)
+    # - B_i sin(phi_k) - mu_k) / 2pi.  Folding the measured phases, the
+    # circular means and the 1/2pi wrap scale into the matmul saves
+    # three full passes over the (snapshots x grid) block.
+    mu = np.arctan2(colsum.imag, colsum.real)
+    inv = 1.0 / TWO_PI
+    lhs = np.empty((count, 4))
+    lhs[:, 0] = coefficients[:, 0]
+    lhs[:, 1] = coefficients[:, 1]
+    lhs[:, 2] = measured
+    lhs[:, 3] = 1.0
+    lhs *= -inv
+    lhs[:, 2:] *= -1.0
+    rhs = np.empty((4, trig.shape[1]))
+    rhs[0] = trig[0]
+    rhs[1] = trig[1]
+    rhs[2] = 1.0
+    rhs[3] = -mu
+    x = np.matmul(lhs, rhs, out=work[1])
+    # Wrap onto the rint branch and weight in place:
+    # x -> exp(-0.5 ((2pi x mod' 2pi) / sigma)^2) (see module docstring).
+    nearest = np.rint(x, out=work[0])
+    x -= nearest
+    np.square(x, out=x)
+    x *= -0.5 * (TWO_PI / sigma) ** 2
+    weights = np.exp(x, out=x)
+    # acc_k = sum_i w_ik * phasor_i * S[i, k]: scale the weights by the
+    # phasor once, then one contiguous complex einsum against S — the
+    # residual-phasor matrix E = phasor[:, None] * S is never formed.
+    scaled = np.multiply(weights, phasor[:, np.newaxis], out=cwork)
+    acc = np.einsum("ij,ij->j", scaled, steering)
+    return np.abs(acc) / count, colsum
+
+
+def harmonic_accumulate(
+    phasor: np.ndarray,
+    steering: np.ndarray,
+    coefficients: Optional[np.ndarray],
+    trig: Optional[np.ndarray],
+    measured: Optional[np.ndarray],
+    sigma: Optional[float],
+    use_native: bool = True,
+    work: Optional[np.ndarray] = None,
+    cwork: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Accumulate measured phasors against steering phasors into power.
+
+    ``phasor`` is the measured-phase phasor vector ``exp(1j * m_i)``
+    (length ``snapshots``); ``steering`` the complex steering-phasor
+    matrix ``S[i, k] = exp(-1j * c_i(phi_k))`` produced by the harmonic
+    engine's batched inverse FFT.  The Q profile (``sigma=None``) is one
+    BLAS vector-matrix product; pass ``None`` for the remaining array
+    arguments.  The R profile additionally needs the raw residual
+    ingredients — ``coefficients`` the ``(snapshots, 2)`` harmonic
+    ``(A, B)`` stack, ``trig`` the ``(2, grid)`` cos/sin rows of the
+    azimuth grid and ``measured`` the relative phases ``m_i`` — from
+    which the Gaussian weights are built in place (the centering
+    rotation has unit modulus and factors out of the final magnitude,
+    so only the weights ever see centered values).  ``work`` (float,
+    ``(2, snapshots, grid)``) and ``cwork`` (complex, ``(snapshots,
+    grid)``) may supply scratch to eliminate the large temporaries.
+    Returns ``(power, colsum)`` where ``colsum`` holds the complex
+    per-column totals of ``phasor[:, None] * S`` (reused by the engine
+    as a free Q profile over the same series and grid).
+    """
+    if sigma is not None and sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if sigma is not None and (
+        coefficients is None or trig is None or measured is None
+    ):
+        raise ValueError(
+            "the R profile needs coefficients, trig and measured phases"
+        )
+    if not (use_native and NATIVE_AVAILABLE) or sigma is None:
+        return _harmonic_accumulate_numpy(
+            phasor, steering, coefficients, trig, measured, sigma, work, cwork
+        )
+    power, sum_re, sum_im = _harmonic_r_njit(
+        np.ascontiguousarray(phasor.real),
+        np.ascontiguousarray(phasor.imag),
+        np.ascontiguousarray(steering.real),
+        np.ascontiguousarray(steering.imag),
+        np.ascontiguousarray(coefficients[:, 0]),
+        np.ascontiguousarray(coefficients[:, 1]),
+        np.ascontiguousarray(trig[0]),
+        np.ascontiguousarray(trig[1]),
+        np.ascontiguousarray(measured),
+        float(sigma),
+    )
+    return power, sum_re + 1j * sum_im

@@ -112,8 +112,11 @@ class ResilientLocalizationServer(LocalizationServer):
         (see :mod:`repro.perf`); the gated pipeline's repeated passes
         (scoring, triangulation, R-to-Q fallback) make the ``"batched"``
         engine's caches especially effective here.  ``"adaptive"``
-        additionally shrinks each pass to a coarse-to-fine search, and
-        ``"streaming"`` makes poll-after-append cheap; both stay safe
+        additionally shrinks each pass to a coarse-to-fine search,
+        ``"harmonic"`` replaces dense steering evaluation with batched
+        inverse FFTs over cached per-geometry harmonic tables
+        (``"adaptive-harmonic"`` composes the two), and
+        ``"streaming"`` makes poll-after-append cheap; all stay safe
         under this server's quarantining because any validator decision
         that reorders, drops or re-references early reports changes the
         series prefix, which the streaming accumulator detects and

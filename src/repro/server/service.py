@@ -14,6 +14,10 @@ cheaper: the engine's :class:`~repro.perf.streaming
 previous one and appends only the new snapshots' residual columns.
 Explicitly clearing a stream also clears that per-stream state (any
 other buffer change is detected by the accumulator's own prefix check).
+``engine="harmonic"`` (or ``"adaptive-harmonic"``) instead accelerates
+the dense evaluation itself: steering phasors are realized by batched
+inverse FFTs and cached per geometry, so re-locating against an updated
+buffer (same disks, new phases) pays no steering work at all.
 """
 
 from __future__ import annotations

@@ -116,6 +116,47 @@ class TestGoldenTolerance:
             expected.peak_power, rel=1e-3
         )
 
+    def test_fused_joint_peak_within_tolerance(self, golden, kind):
+        """One ladder refines the fused multi-channel joint objective.
+
+        The dense comparison point is the fused objective's own argmax
+        (mean power over channels on the dense grids), which is what the
+        fused ladder descends on.
+        """
+        azimuths = default_azimuth_grid(np.deg2rad(0.75))
+        polars = default_polar_grid(np.deg2rad(1.5))
+        channels = _disk_series(golden, kind)[0]
+        reference = ReferenceEngine()
+        dense = [
+            reference.joint_spectrum(
+                s, azimuths, polars, RELATIVE_PHASE_STD_RAD
+            )
+            for s in channels
+        ]
+        mean_power = np.mean([s.power for s in dense], axis=0)
+        row, col = np.unravel_index(
+            int(np.argmax(mean_power)), mean_power.shape
+        )
+        with AdaptiveEngine() as engine:
+            before = engine.refinements
+            actual = engine.fused_joint_spectrum(
+                channels, azimuths, polars, RELATIVE_PHASE_STD_RAD
+            )
+            ladders = engine.refinements - before
+        # One ladder per basin, never one per channel.
+        assert 0 < ladders <= engine.top_k
+        # The fused ladder interpolates between dense samples, so allow
+        # one dense grid step on top of the configured tolerance.
+        assert _angular_error(
+            float(azimuths[col]), actual.peak_azimuth
+        ) <= TOLERANCE + np.deg2rad(0.75)
+        polar_error = min(
+            abs(float(polars[row]) - actual.peak_polar),
+            abs(float(polars[row]) + actual.peak_polar),
+        )
+        assert polar_error <= TOLERANCE + np.deg2rad(1.5)
+        assert actual.peak_power >= float(np.max(mean_power)) * (1 - 1e-6)
+
 
 class TestFlatSpectrumFallback:
     def test_dense_fallback_triggers(self):

@@ -45,6 +45,38 @@ class TestPipelineEngineEquivalence:
         assert actual.residual == expected.residual
         assert actual.confidence == expected.confidence
 
+    def test_harmonic_fix_within_budget(self, collected):
+        # The harmonic engine is numerically (not bit-) equivalent: its
+        # FFT-realized steering phasors round differently than direct
+        # cosines, so the fix is held to the 1e-9 dense budget instead.
+        expected = _fix_with_engine(collected, "reference")
+        actual = _fix_with_engine(collected, "harmonic")
+        assert abs(actual.position.x - expected.position.x) <= 1e-9
+        assert abs(actual.position.y - expected.position.y) <= 1e-9
+        assert abs(actual.residual - expected.residual) <= 1e-9
+
+    def test_fused_joint_path_per_engine(self, collected):
+        # locate_3d exercises engine.fused_joint_spectrum end to end.
+        scenario, batch = collected
+
+        def fix_3d(engine):
+            system = TagspinSystem(
+                scenario.scene.registry,
+                scenario.config.pipeline,
+                engine=engine,
+            )
+            return system.locate_3d(batch, 1)
+
+        expected = fix_3d("reference")
+        batched = fix_3d("batched")
+        assert batched.position.x == expected.position.x
+        assert batched.position.y == expected.position.y
+        assert batched.position.z == expected.position.z
+        harmonic = fix_3d("harmonic")
+        assert abs(harmonic.position.x - expected.position.x) <= 1e-6
+        assert abs(harmonic.position.y - expected.position.y) <= 1e-6
+        assert abs(harmonic.position.z - expected.position.z) <= 1e-6
+
     def test_fix_is_accurate(self, collected):
         fix = _fix_with_engine(collected, "batched")
         truth = Point2(0.5, 2.0)
@@ -120,3 +152,6 @@ class TestServerEnginePassthrough:
         actual = serve("batched")
         assert actual.position.x == expected.position.x
         assert actual.position.y == expected.position.y
+        harmonic = serve("harmonic")
+        assert abs(harmonic.position.x - expected.position.x) <= 1e-9
+        assert abs(harmonic.position.y - expected.position.y) <= 1e-9
