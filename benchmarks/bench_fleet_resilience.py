@@ -21,6 +21,20 @@ Three measured phases against a supervised multi-deployment fleet
 SLO passes, the crashed deployment warm-restores from its checkpoint,
 and recovery stays within the fix-cycle budget.
 
+``--sharded`` benches the multi-core tier instead: the same
+multi-deployment columnar replay through a single-process supervisor
+(baseline) and through a :class:`~repro.fleet.sharding.ShardedFleet`
+(N worker processes, shared-memory columnar transport).  It gates on
+
+* per-deployment fixes differentially identical to the baseline
+  (≤ 1e-9 — sharding must change *where* work runs, never the answer);
+* the cross-incarnation ledger balancing exactly through a worker
+  SIGKILL + restart chaos round (``offered == shed + pending +
+  delivered + lost_in_crash``);
+* aggregate ingest-to-fix throughput ≥ 2.5× baseline at 4 workers
+  (scaled pro-rata below 4; only enforced when the host actually has
+  that many cores — a 1-core CI box cannot demonstrate a speedup).
+
 Every run writes ``benchmarks/results/BENCH_fleet_<mode>.json``
 (schema ``tagspin-bench/1``) so the resilience trajectory accumulates
 across PRs next to the engine-scaling one.
@@ -31,6 +45,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -42,9 +57,12 @@ from repro.fleet.actor import ActorConfig
 from repro.fleet.chaos import ChaosConfig, run_chaos_suite
 from repro.fleet.checkpoint import MemoryCheckpointStore
 from repro.fleet.events import EventLog
+from repro.fleet.sharding import ShardedFleet
 from repro.fleet.supervisor import FleetSupervisor, SupervisorPolicy
+from repro.fleet.worker import DeploymentSpec
 from repro.server.resilience import ResilientLocalizationServer, RetryPolicy
 from repro.sim.scenario import paper_default_scenario
+from repro.sim.wire_recording import WireRecording
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_POSE = Point3(0.4, 1.9, 0.0)
@@ -176,6 +194,290 @@ async def _bench_fleet(scenario, batch, deployments, rounds, chunk_size):
     }
 
 
+def _ledger_balanced(ledger: dict) -> bool:
+    """The chaos harness's exact accounting invariant."""
+    return (
+        ledger["offered"]
+        == ledger["shed"]
+        + ledger["pending"]
+        + ledger["delivered"]
+        + ledger["lost_in_crash"]
+        and ledger["delivered"]
+        == ledger["received"] + ledger["rejected_invalid"]
+        and ledger["received"]
+        == ledger["accepted"] + ledger["quarantined"]
+    )
+
+
+def _stats_have_signal(stats: dict) -> bool:
+    """True when a merged cache-stats tree has any non-zero counter."""
+    for value in stats.values():
+        if isinstance(value, dict):
+            if _stats_have_signal(value):
+                return True
+        elif isinstance(value, (int, float)) and value:
+            return True
+    return False
+
+
+async def _baseline_columnar(scenario, batches, ids):
+    """Single-process supervisor serving the same columnar fan-out."""
+    supervisor = FleetSupervisor(
+        events=EventLog(capacity=65_536), store=MemoryCheckpointStore()
+    )
+    registry = scenario.scene.registry
+    pipeline = scenario.config.pipeline
+
+    def factory():
+        return ResilientLocalizationServer(
+            registry, pipeline, engine="streaming"
+        )
+
+    for deployment_id in ids:
+        supervisor.add_deployment(
+            deployment_id, factory, ActorConfig(high_water_mark=1_000_000)
+        )
+    await _wait_until(
+        lambda: all(
+            supervisor.actor(i) is not None and supervisor.actor(i).running
+            for i in ids
+        )
+    )
+    t0 = time.perf_counter()
+    for deployment_id in ids:
+        for cols in batches:
+            supervisor.offer_columnar(deployment_id, "reader-1", cols)
+    await _wait_until(
+        lambda: all(
+            supervisor.actor(i) is not None
+            and supervisor.actor(i).mailbox.pending_reports == 0
+            for i in ids
+        ),
+        timeout_s=300.0,
+    )
+    fixes = {}
+    for deployment_id in ids:
+        fix, _diag = await supervisor.locate_2d(deployment_id, "reader-1")
+        fixes[deployment_id] = fix
+    elapsed = time.perf_counter() - t0
+    await supervisor.stop()
+    rows = sum(len(c) for c in batches) * len(ids)
+    return fixes, rows / elapsed if elapsed else 0.0, elapsed
+
+
+def _bench_sharded(scenario, batches, ids, workers):
+    """ShardedFleet serving + worker-kill chaos round; returns metrics."""
+    records = tuple(scenario.scene.registry)
+    pipeline = scenario.config.pipeline
+    fleet = ShardedFleet(workers=workers, request_timeout_s=300.0)
+    fleet.start()
+    specs = {
+        deployment_id: DeploymentSpec(
+            deployment_id=deployment_id,
+            registry_records=records,
+            pipeline=pipeline,
+            engine="streaming",
+            actor_config=ActorConfig(high_water_mark=1_000_000),
+        )
+        for deployment_id in ids
+    }
+    for spec in specs.values():
+        fleet.add_deployment(spec)
+
+    # Phase 1: ingest-to-fix throughput on the identical columnar feed.
+    t0 = time.perf_counter()
+    for deployment_id in ids:
+        for cols in batches:
+            fleet.offer_columnar(deployment_id, "reader-1", cols)
+    fleet.drain(timeout_s=300.0)
+    fixes = {}
+    for deployment_id in ids:
+        fix, _diag = fleet.locate_2d_sync(deployment_id, "reader-1")
+        fixes[deployment_id] = fix
+    elapsed = time.perf_counter() - t0
+    rows = sum(len(c) for c in batches) * len(ids)
+
+    engine_stats = fleet.engine_stats()
+    ledgers = {
+        deployment_id: fleet.accounting(deployment_id)
+        for deployment_id in ids
+    }
+    worker_info = fleet.worker_info()
+
+    # Phase 2: chaos — checkpoint the victim, SIGKILL its worker
+    # mid-stream, restart the shard, keep serving.
+    victim = ids[0]
+    shard = fleet.shard_of(victim)
+    fleet.checkpoint(victim)
+    for cols in batches:
+        fleet.offer_columnar(victim, "reader-1", cols)
+    fleet.kill_worker(shard)
+    ledger_after_kill = fleet.accounting(victim)
+    receipts = fleet.restart_shard(shard)
+    warm = any(
+        r["deployment_id"] == victim and r["warm_restored"]
+        for r in receipts
+    )
+    for cols in batches[: max(1, len(batches) // 4)]:
+        fleet.offer_columnar(victim, "reader-1", cols)
+    fleet.drain(timeout_s=300.0)
+    ledger_after_restart = fleet.accounting(victim)
+    fleet.locate_2d_sync(victim, "reader-1")
+
+    pids = [info["pid"] for info in fleet.worker_info() if info["pid"]]
+    summary = fleet.close()
+    orphans = []
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+            orphans.append(pid)
+        except ProcessLookupError:
+            pass
+
+    return {
+        "workers": workers,
+        "deployments": len(ids),
+        "ingest_to_fix_s": elapsed,
+        "ingest_reports_per_s": rows / elapsed if elapsed else 0.0,
+        "ingested_reports": rows,
+        "fixes": {
+            deployment_id: [fix.position.x, fix.position.y]
+            for deployment_id, fix in fixes.items()
+        },
+        "ring_fallbacks": sum(
+            info["ring_fallbacks"] for info in worker_info
+        ),
+        "engine_stats": engine_stats,
+        "ledgers": ledgers,
+        "chaos": {
+            "victim": victim,
+            "shard": shard,
+            "ledger_after_kill": ledger_after_kill,
+            "ledger_after_restart": ledger_after_restart,
+            "warm_restored": bool(warm),
+        },
+        "close_summary": summary,
+        "orphan_pids": orphans,
+    }, fixes
+
+
+def _run_sharded(args) -> tuple:
+    """Drive the sharded benchmark; returns (metrics, failures)."""
+    workers = args.workers or (2 if args.quick else 4)
+    deployments = args.deployments or 2 * workers
+    repeat = args.repeat or (2 if args.quick else 5)
+
+    scenario = paper_default_scenario(seed=args.seed)
+    scenario.run_orientation_prelude()
+    batch, _reader = scenario.collect(BENCH_POSE)
+    recording = WireRecording.capture(
+        batch,
+        list(scenario.scene.registry),
+        truth=BENCH_POSE,
+        label="sharded-fleet bench",
+    )
+    # Decode the wire capture ONCE; every deployment replays the same
+    # columnar batches, so baseline and sharded runs see identical bits.
+    batches = recording.decode_columnar_batches() * repeat
+    ids = [f"deployment-{i:02d}" for i in range(deployments)]
+
+    baseline_fixes, baseline_tps, baseline_s = asyncio.run(
+        _baseline_columnar(scenario, batches, ids)
+    )
+    metrics, sharded_fixes = _bench_sharded(
+        scenario, batches, ids, workers
+    )
+    metrics["baseline_reports_per_s"] = baseline_tps
+    metrics["baseline_ingest_to_fix_s"] = baseline_s
+    speedup = (
+        metrics["ingest_reports_per_s"] / baseline_tps
+        if baseline_tps
+        else 0.0
+    )
+    metrics["speedup_vs_baseline"] = speedup
+
+    failures = []
+    max_delta = 0.0
+    for deployment_id, fix in sharded_fixes.items():
+        reference = baseline_fixes[deployment_id]
+        delta = max(
+            abs(fix.position.x - reference.position.x),
+            abs(fix.position.y - reference.position.y),
+        )
+        max_delta = max(max_delta, delta)
+        if delta > 1e-9:
+            failures.append(
+                f"sharded fix for {deployment_id} deviates from the "
+                f"single-process baseline by {delta:.3e} m (> 1e-9)"
+            )
+    metrics["max_fix_delta_m"] = max_delta
+
+    for deployment_id, ledger in metrics["ledgers"].items():
+        if not _ledger_balanced(ledger):
+            failures.append(
+                f"ledger of {deployment_id} does not balance: {ledger}"
+            )
+    for label in ("ledger_after_kill", "ledger_after_restart"):
+        if not _ledger_balanced(metrics["chaos"][label]):
+            failures.append(
+                f"chaos {label} does not balance: "
+                f"{metrics['chaos'][label]}"
+            )
+    if not metrics["chaos"]["warm_restored"]:
+        failures.append(
+            "victim deployment did not warm-restore across the process "
+            "boundary"
+        )
+    if not _stats_have_signal(metrics["engine_stats"]):
+        failures.append(
+            "aggregated engine cache stats are all zero — worker stats "
+            "are not reaching the parent"
+        )
+    if metrics["orphan_pids"]:
+        failures.append(
+            f"orphan worker processes left behind: "
+            f"{metrics['orphan_pids']}"
+        )
+
+    cores = os.cpu_count() or 1
+    floor = 2.5 * min(workers, 4) / 4
+    metrics["speedup_floor"] = floor
+    metrics["speedup_gate_enforced"] = cores >= workers
+    if cores >= workers:
+        if speedup < floor:
+            failures.append(
+                f"sharded throughput only {speedup:.2f}x baseline "
+                f"(gate {floor:.2f}x with {workers} workers)"
+            )
+    else:
+        print(
+            f"SKIP: speedup gate needs >= {workers} cores, host has "
+            f"{cores}; identity and ledger gates still enforced"
+        )
+
+    print(
+        f"sharded fleet ({workers} workers, {deployments} deployments)\n"
+        f"  baseline   : {baseline_tps:,.0f} reports/s ingest-to-fix\n"
+        f"  sharded    : {metrics['ingest_reports_per_s']:,.0f} reports/s "
+        f"({speedup:.2f}x, gate {floor:.2f}x"
+        f"{'' if metrics['speedup_gate_enforced'] else ', not enforced'})\n"
+        f"  identity   : max fix delta {max_delta:.2e} m\n"
+        f"  chaos      : worker SIGKILL -> "
+        f"{'warm' if metrics['chaos']['warm_restored'] else 'cold'} "
+        f"restart, ledger "
+        f"{'balanced' if _ledger_balanced(metrics['chaos']['ledger_after_restart']) else 'UNBALANCED'}\n"
+        f"  transport  : {metrics['ring_fallbacks']} ring fallback(s)"
+    )
+    config = {
+        "seed": args.seed,
+        "workers": workers,
+        "deployments": deployments,
+        "repeat": repeat,
+        "quick": bool(args.quick),
+    }
+    return metrics, config, failures
+
+
 def _format_metrics(metrics: dict) -> str:
     lines = [
         "fleet resilience "
@@ -201,8 +503,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="small fleet plus the chaos-SLO gate (exit 1 on violation)",
     )
+    parser.add_argument(
+        "--sharded",
+        action="store_true",
+        help="bench the multi-process ShardedFleet against the "
+        "single-process baseline (identity, ledger and speedup gates)",
+    )
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sharded worker processes "
+                        "(default 4; --quick 2)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="columnar feed repetitions in sharded mode "
+                        "(default 5; --quick 2)")
     parser.add_argument("--deployments", type=int, default=None,
-                        help="fleet size (default 4; --quick 2)")
+                        help="fleet size (default 4; --quick 2; "
+                        "sharded default 2x workers)")
     parser.add_argument("--rounds", type=int, default=None,
                         help="serving cycles per deployment "
                         "(default 6; --quick 3)")
@@ -216,6 +531,33 @@ def main(argv=None) -> int:
         help="write machine-readable metrics to this path too",
     )
     args = parser.parse_args(argv)
+
+    if args.sharded:
+        metrics, config, failures = _run_sharded(args)
+        payload = json.dumps(
+            {
+                "schema": "tagspin-bench/1",
+                "benchmark": "fleet-sharded",
+                "mode": "sharded",
+                "config": config,
+                "metrics": metrics,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        trajectory = RESULTS_DIR / "BENCH_fleet_sharded.json"
+        trajectory.write_text(payload + "\n")
+        print(f"\nwrote {trajectory}")
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(payload + "\n")
+            print(f"wrote {args.json}")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        return 0
 
     deployments = args.deployments or (2 if args.quick else 4)
     rounds = args.rounds or (3 if args.quick else 6)

@@ -312,6 +312,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     registry = scenario.scene.registry
     pipeline = scenario.config.pipeline
 
+    if args.workers:
+        return _serve_sharded(args, scenario, batch, truth)
+
     store = (
         JsonCheckpointStore(Path(args.checkpoint_dir))
         if args.checkpoint_dir
@@ -404,6 +407,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_sharded(args: argparse.Namespace, scenario, batch, truth) -> int:
+    """``tagspin serve --workers N``: the multi-process sharded fleet.
+
+    Same session shape as the in-process path — add deployments, stream
+    the collected batch in chunks, fix each deployment — but ingest
+    crosses process boundaries through the shared-memory columnar
+    transport, and ``--kill`` SIGKILLs a whole *worker process*
+    mid-stream to demonstrate the cross-process warm restart.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.fleet.actor import ActorConfig
+    from repro.fleet.sharding import ShardedFleet
+    from repro.fleet.worker import DeploymentSpec
+    from repro.hardware.llrp_columnar import ColumnarReportBatch
+
+    records = tuple(scenario.scene.registry)
+    pipeline = scenario.config.pipeline
+    ids = [f"deployment-{i:02d}" for i in range(args.deployments)]
+    fleet = ShardedFleet(
+        workers=args.workers, checkpoint_dir=args.checkpoint_dir
+    )
+    fleet.start()
+    try:
+        for deployment_id in ids:
+            fleet.add_deployment(DeploymentSpec(
+                deployment_id=deployment_id,
+                registry_records=records,
+                pipeline=pipeline,
+                engine="streaming",
+                actor_config=ActorConfig(
+                    checkpoint_every=args.checkpoint_every
+                ),
+            ))
+        cols = ColumnarReportBatch.from_reports(batch.reports)
+        chunks = [
+            cols.select(np.arange(i, min(i + args.chunk_size, len(cols))))
+            for i in range(0, len(cols), args.chunk_size)
+        ]
+        kill_at = len(chunks) // 2 if args.kill else -1
+        for index, chunk in enumerate(chunks):
+            if index == kill_at:
+                victim_shard = fleet.shard_of(ids[0])
+                print(
+                    f"-- SIGKILLing worker {victim_shard} "
+                    f"(owns {ids[0]}) mid-stream --"
+                )
+                fleet.checkpoint(ids[0])
+                fleet.kill_worker(victim_shard)
+                receipts = fleet.restart_shard(victim_shard)
+                restored = ", ".join(
+                    f"{r['deployment_id']}"
+                    f"{' (warm)' if r['warm_restored'] else ''}"
+                    for r in receipts
+                )
+                print(f"-- shard {victim_shard} restarted: {restored} --")
+            for deployment_id in ids:
+                fleet.offer_columnar(deployment_id, "reader-1", chunk)
+        fleet.drain(timeout_s=120.0)
+
+        for deployment_id in ids:
+            start = time.perf_counter()
+            fix, _diag = fleet.locate_2d_sync(deployment_id, "reader-1")
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            shard = fleet.shard_of(deployment_id)
+            print(
+                f"{deployment_id} [worker {shard}]: fix "
+                f"({fix.position.x:.3f}, {fix.position.y:.3f}) m, error "
+                f"{fix.position.distance_to(truth) * 100:.2f} cm, "
+                f"{elapsed_ms:.0f} ms"
+            )
+            acct = fleet.accounting(deployment_id)
+            print(
+                f"  ledger: offered {acct['offered']}, delivered "
+                f"{acct['delivered']}, accepted {acct['accepted']}, "
+                f"quarantined {acct['quarantined']}, shed {acct['shed']}, "
+                f"lost in crash {acct['lost_in_crash']}"
+            )
+        for info in fleet.worker_info():
+            print(
+                f"worker {info['index']}: pid {info['pid']}, "
+                f"{len(info.get('deployments', []))} deployment(s), "
+                f"{info['ring_fallbacks']} ring fallback(s)"
+            )
+    finally:
+        fleet.close()
+    print(
+        "events: "
+        + ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(fleet.worker_events().items())
+        )
+    )
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -438,14 +539,39 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"({recording.total_bytes} wire bytes, "
         f"{recording.duration_s:.2f} s captured, {args.speed:g}x)"
     )
-    result = asyncio.run(
+    outcome = asyncio.run(
         replay_into_supervisor(
             recording,
             speed=args.speed,
             decode=args.decode,
             fragment_bytes=args.fragment,
+            deployments=args.deployments,
         )
     )
+    if args.deployments > 1:
+        # Fan-out replay: one capture cloned across M deployments, each
+        # with its own loopback stream; every clone must agree.
+        for index, result in enumerate(outcome):
+            fix = result.fix
+            line = (
+                f"clone-{index:03d}: ({fix.position.x:.3f}, "
+                f"{fix.position.y:.3f}) m from "
+                f"{result.reports_offered} reports"
+            )
+            if recording.truth is not None:
+                line += f", error {result.error_m * 100:.2f} cm"
+            print(line)
+        positions = {
+            (round(r.fix.position.x, 12), round(r.fix.position.y, 12))
+            for r in outcome
+        }
+        print(
+            f"fan-out   : {len(outcome)} deployments, "
+            + ("all fixes identical" if len(positions) == 1
+               else f"{len(positions)} DISTINCT fixes")
+        )
+        return 0 if len(positions) == 1 else 1
+    result = outcome
     stats = result.stream_stats
     print(
         f"ingested  : {result.reports_offered} reports in "
@@ -565,6 +691,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--deployments", type=int, default=2,
                     help="number of supervised deployments")
+    ps.add_argument("--workers", type=int, default=0,
+                    help="shard the fleet across this many worker "
+                    "processes (0 = in-process supervisor); ingest "
+                    "crosses via shared-memory columnar transport")
     ps.add_argument("--chunk-size", type=int, default=100,
                     help="reports per offered ingest batch")
     ps.add_argument("--checkpoint-every", type=int, default=2,
@@ -597,6 +727,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "(1-1000x typical)")
     pr.add_argument("--decode", choices=("columnar", "object"),
                     default="columnar", help="wire decode path")
+    pr.add_argument("--deployments", type=int, default=1,
+                    help="clone the recording across M synthetic "
+                    "deployments (fan-out load shape; fixes must agree)")
     pr.add_argument("--fragment", type=int, default=1400,
                     help="split frames into writes of this many bytes "
                     "to exercise reassembly (MTU-ish default)")

@@ -115,6 +115,16 @@ class ActorUnavailableError(TransientError):
     """
 
 
+class WorkerUnavailableError(TransientError):
+    """A sharded-fleet worker process is not currently serving (dead,
+    being restarted, or shut down).
+
+    Transient: :class:`~repro.fleet.sharding.ShardedFleet` can respawn
+    the shard's worker and re-add its deployments (warm-starting from
+    the shared checkpoint store); the same request later can succeed.
+    """
+
+
 class CheckpointError(PermanentError):
     """A deployment checkpoint was missing required structure or corrupt.
 

@@ -17,11 +17,18 @@ this package is what lets one process serve *thousands* of deployments
   buffers and degradation state so restarts warm-start instead of
   rebuilding cold;
 * :mod:`repro.fleet.chaos` — the fault-injection harness asserting the
-  tier's recovery SLOs.
+  tier's recovery SLOs;
+* :mod:`repro.fleet.sharding` / :mod:`repro.fleet.worker` — the
+  multi-core tier: hash-sharded worker *processes* (a full supervisor
+  per shard) with zero-copy columnar ingest over shared memory.
 """
 
 from repro.fleet.actor import ActorConfig, ActorStats, DeploymentActor
-from repro.fleet.backpressure import BoundedMailbox, ShedStats
+from repro.fleet.backpressure import (
+    BoundedMailbox,
+    ColumnarIngestMessage,
+    ShedStats,
+)
 from repro.fleet.checkpoint import (
     CHECKPOINT_SCHEMA,
     CheckpointStore,
@@ -43,13 +50,25 @@ from repro.fleet.events import (
     EVENT_CHECKPOINT_SAVED,
     EVENT_FIX_DEADLINE,
     EVENT_REPORTS_SHED,
+    EVENT_WORKER_KILLED,
+    EVENT_WORKER_LOST,
+    EVENT_WORKER_RESTARTED,
+    EVENT_WORKER_STARTED,
+    EVENT_WORKER_STOPPED,
     EventLog,
     FleetEvent,
 )
+from repro.fleet.sharding import ShardedFleet, ShmRing, shard_for
 from repro.fleet.supervisor import (
     BreakerState,
     FleetSupervisor,
     SupervisorPolicy,
+)
+from repro.fleet.worker import (
+    DeploymentSpec,
+    WorkerOptions,
+    apply_thread_limits,
+    thread_pin_env,
 )
 
 __all__ = [
@@ -80,7 +99,20 @@ __all__ = [
     "EVENT_CHECKPOINT_SAVED",
     "EVENT_FIX_DEADLINE",
     "EVENT_REPORTS_SHED",
+    "EVENT_WORKER_KILLED",
+    "EVENT_WORKER_LOST",
+    "EVENT_WORKER_RESTARTED",
+    "EVENT_WORKER_STARTED",
+    "EVENT_WORKER_STOPPED",
+    "ColumnarIngestMessage",
     "BreakerState",
     "FleetSupervisor",
     "SupervisorPolicy",
+    "DeploymentSpec",
+    "ShardedFleet",
+    "ShmRing",
+    "WorkerOptions",
+    "apply_thread_limits",
+    "shard_for",
+    "thread_pin_env",
 ]

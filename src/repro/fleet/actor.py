@@ -38,6 +38,7 @@ from repro.errors import (
 from repro.fleet.backpressure import (
     DEFAULT_HIGH_WATER,
     BoundedMailbox,
+    ColumnarIngestMessage,
     CommandMessage,
     IngestMessage,
 )
@@ -133,7 +134,7 @@ class DeploymentActor:
         self.stats = ActorStats()
         self.mailbox = BoundedMailbox(
             high_water=self.config.high_water_mark,
-            is_infrastructure=lambda r: r.epc in self.server.registry,
+            is_infrastructure_epc=lambda epc: epc in self.server.registry,
         )
         self._checkpoint_seq = 0
         self._batches_since_checkpoint = 0
@@ -151,6 +152,25 @@ class DeploymentActor:
         shed report is surfaced as an :data:`EVENT_REPORTS_SHED` event.
         """
         kept, shed = self.mailbox.offer(reader_name, list(reports))
+        if shed:
+            self.events.emit(
+                self.deployment_id,
+                EVENT_REPORTS_SHED,
+                reader_name=reader_name,
+                shed=shed,
+                pending=self.mailbox.pending_reports,
+            )
+        return kept
+
+    def offer_columnar(self, reader_name: str, cols) -> int:
+        """Offer a columnar batch for ingest; returns how many rows kept.
+
+        The zero-copy twin of :meth:`offer` — the batch stays columnar
+        through the mailbox and is validated vectorized by
+        :meth:`~repro.server.resilience.ResilientLocalizationServer
+        .ingest_columnar`, with identical shedding policy and accounting.
+        """
+        kept, shed = self.mailbox.offer_columnar(reader_name, cols)
         if shed:
             self.events.emit(
                 self.deployment_id,
@@ -213,7 +233,7 @@ class DeploymentActor:
         try:
             while True:
                 message = await self.mailbox.get()
-                if isinstance(message, IngestMessage):
+                if isinstance(message, (IngestMessage, ColumnarIngestMessage)):
                     self._handle_ingest(message)
                     await self._maybe_auto_checkpoint()
                     continue
@@ -238,20 +258,27 @@ class DeploymentActor:
             self._running = False
 
     # -- ingest ---------------------------------------------------------
-    def _handle_ingest(self, message: IngestMessage) -> None:
+    def _handle_ingest(self, message) -> None:
+        columnar = isinstance(message, ColumnarIngestMessage)
+        size = len(message.cols) if columnar else len(message.reports)
         try:
-            self.stats.accepted += self.server.ingest(
-                message.reader_name, message.reports
-            )
+            if columnar:
+                self.stats.accepted += self.server.ingest_columnar(
+                    message.reader_name, message.cols
+                )
+            else:
+                self.stats.accepted += self.server.ingest(
+                    message.reader_name, message.reports
+                )
         except ConfigurationError as exc:
             # The whole batch was rejected before any report was
             # buffered (stream-key validation is all-or-nothing).
-            self.stats.rejected_invalid += len(message.reports)
+            self.stats.rejected_invalid += size
             self.events.emit(
                 self.deployment_id,
                 EVENT_INGEST_REJECTED,
                 reader_name=message.reader_name,
-                reports=len(message.reports),
+                reports=size,
                 error=str(exc),
             )
 

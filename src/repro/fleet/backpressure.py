@@ -25,7 +25,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 
+import numpy as np
+
 from repro.hardware.llrp import TagReportData
+from repro.hardware.llrp_columnar import ColumnarReportBatch
 
 #: Default pending-report high-water mark per deployment.
 DEFAULT_HIGH_WATER = 10_000
@@ -68,6 +71,19 @@ class IngestMessage:
 
 
 @dataclass
+class ColumnarIngestMessage:
+    """A columnar batch offered by one reader (shm or wire transport).
+
+    Counts against the high-water mark row-for-row like
+    :class:`IngestMessage`; shedding slices rows off with vectorized
+    masks instead of per-report Python loops.
+    """
+
+    reader_name: str
+    cols: ColumnarReportBatch
+
+
+@dataclass
 class CommandMessage:
     """A control-plane message; never counted against the high-water mark."""
 
@@ -92,11 +108,19 @@ class BoundedMailbox:
         is_infrastructure: Optional[
             Callable[[TagReportData], bool]
         ] = None,
+        is_infrastructure_epc: Optional[Callable[[str], bool]] = None,
     ) -> None:
         if high_water < 1:
             raise ValueError("high_water must be positive")
         self.high_water = high_water
+        if is_infrastructure is None and is_infrastructure_epc is not None:
+            is_infrastructure = lambda r: is_infrastructure_epc(r.epc)  # noqa: E731
         self._is_infrastructure = is_infrastructure or (lambda _r: True)
+        # Columnar shedding classifies whole EPC-table slots at once;
+        # without an EPC-level predicate every columnar row counts as
+        # infrastructure (the conservative default, matching the object
+        # path's ``lambda _r: True``).
+        self._is_infrastructure_epc = is_infrastructure_epc
         self._items: Deque[object] = deque()
         self._pending_reports = 0
         self._available = asyncio.Event()
@@ -122,6 +146,27 @@ class BoundedMailbox:
         # "kept" means to the caller is how much of *its* batch survived.
         return len(message.reports), shed
 
+    def offer_columnar(
+        self, reader_name: str, cols: ColumnarReportBatch
+    ) -> Tuple[int, int]:
+        """Enqueue a columnar batch, shedding on overflow; (kept, shed).
+
+        The columnar twin of :meth:`offer`: rows count against the
+        high-water mark exactly like object reports and share the same
+        two-pass shedding policy, but overload trims rows with
+        vectorized masks (:meth:`ColumnarReportBatch.select`) instead of
+        rebuilding Python lists.
+        """
+        self.stats.offered += len(cols)
+        message = ColumnarIngestMessage(reader_name, cols)
+        self._items.append(message)
+        self._pending_reports += len(cols)
+        shed = 0
+        if self._pending_reports > self.high_water:
+            shed = self._shed_to_high_water()
+        self._available.set()
+        return len(message.cols), shed
+
     def put_command(self, message: CommandMessage) -> None:
         self._items.append(message)
         self._available.set()
@@ -134,6 +179,9 @@ class BoundedMailbox:
         for item in self._items:
             if self._pending_reports <= self.high_water:
                 break
+            if isinstance(item, ColumnarIngestMessage):
+                shed_total += self._shed_columnar_bystanders(item)
+                continue
             if not isinstance(item, IngestMessage):
                 continue
             kept: List[TagReportData] = []
@@ -154,6 +202,19 @@ class BoundedMailbox:
         for item in self._items:
             if self._pending_reports <= self.high_water:
                 break
+            if isinstance(item, ColumnarIngestMessage):
+                excess = min(
+                    len(item.cols),
+                    self._pending_reports - self.high_water,
+                )
+                if excess:
+                    item.cols = item.cols.select(
+                        np.arange(excess, len(item.cols))
+                    )
+                    self._pending_reports -= excess
+                    shed_total += excess
+                    self.stats.shed_infrastructure += excess
+                continue
             if not isinstance(item, IngestMessage):
                 continue
             excess = min(
@@ -167,6 +228,30 @@ class BoundedMailbox:
                 self.stats.shed_infrastructure += excess
         self.stats.shed += shed_total
         return shed_total
+
+    def _shed_columnar_bystanders(self, item: ColumnarIngestMessage) -> int:
+        """Drop this batch's oldest non-infrastructure rows, vectorized."""
+        if self._is_infrastructure_epc is None or not len(item.cols):
+            return 0
+        infrastructure_slots = np.fromiter(
+            (self._is_infrastructure_epc(epc) for epc in item.cols.epcs),
+            dtype=bool,
+            count=len(item.cols.epcs),
+        )
+        bystander_rows = np.flatnonzero(
+            ~infrastructure_slots[item.cols.epc_index]
+        )
+        need = self._pending_reports - self.high_water
+        drop = bystander_rows[:need]
+        if not drop.size:
+            return 0
+        keep_mask = np.ones(len(item.cols), dtype=bool)
+        keep_mask[drop] = False
+        item.cols = item.cols.select(keep_mask)
+        dropped = int(drop.size)
+        self._pending_reports -= dropped
+        self.stats.shed_bystander += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     # Consumer side
@@ -184,6 +269,11 @@ class BoundedMailbox:
                     continue  # fully shed; nothing to deliver
                 self._pending_reports -= len(item.reports)
                 self.stats.delivered += len(item.reports)
+            elif isinstance(item, ColumnarIngestMessage):
+                if not len(item.cols):
+                    continue  # fully shed; nothing to deliver
+                self._pending_reports -= len(item.cols)
+                self.stats.delivered += len(item.cols)
             return item
 
     # ------------------------------------------------------------------

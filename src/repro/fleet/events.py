@@ -31,6 +31,14 @@ EVENT_CHECKPOINT_CORRUPT = "checkpoint-corrupt"
 EVENT_FIX_DEADLINE = "fix-deadline-exceeded"
 EVENT_REPORTS_SHED = "reports-shed"
 EVENT_INGEST_REJECTED = "ingest-rejected"
+# Sharded-fleet worker-process lifecycle (emitted by the parent with the
+# shard index in the detail; ``deployment_id`` is the synthetic
+# ``worker-<index>`` id so the log stays one flat stream).
+EVENT_WORKER_STARTED = "worker-started"
+EVENT_WORKER_STOPPED = "worker-stopped"
+EVENT_WORKER_LOST = "worker-lost"
+EVENT_WORKER_KILLED = "worker-killed"
+EVENT_WORKER_RESTARTED = "worker-restarted"
 
 #: Default bound on retained events; old events roll off, counts persist.
 DEFAULT_CAPACITY = 4096

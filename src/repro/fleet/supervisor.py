@@ -346,6 +346,33 @@ class FleetSupervisor:
             return 0
         return actor.offer(reader_name, reports)
 
+    def offer_columnar(
+        self,
+        deployment_id: str,
+        reader_name: str,
+        cols,
+    ) -> int:
+        """Route a columnar batch to one deployment; returns kept rows.
+
+        Same breaker/restart semantics as :meth:`offer`; the batch stays
+        columnar end-to-end (mailbox, actor, vectorized validation).
+        """
+        deployment = self._deployment(deployment_id)
+        actor = deployment.actor
+        if deployment.breaker is BreakerState.OPEN or actor is None:
+            deployment.ledger.rejected_open += len(cols)
+            self.events.emit(
+                deployment_id,
+                EVENT_INGEST_REJECTED,
+                reader_name=reader_name,
+                reports=len(cols),
+                error=f"breaker {deployment.breaker.value}"
+                if deployment.breaker is BreakerState.OPEN
+                else "actor restarting",
+            )
+            return 0
+        return actor.offer_columnar(reader_name, cols)
+
     async def locate_2d(
         self, deployment_id: str, reader_name: str, antenna_port: int = 1
     ):

@@ -217,6 +217,23 @@ class ReplayResult:
         return self.fix.position.distance_to(self.truth.horizontal())
 
 
+def clone_deployment_ids(deployment_id: str, deployments: int) -> List[str]:
+    """The synthetic deployment ids a fan-out replay clones onto.
+
+    ``deployments=1`` keeps the plain ``deployment_id`` (back-compat);
+    ``M > 1`` yields ``{deployment_id}-000 … {deployment_id}-{M-1}`` —
+    the same naming the sharded bench uses, so hash routing spreads the
+    clones across workers.
+    """
+    if deployments < 1:
+        raise ConfigurationError(
+            f"deployments must be positive, got {deployments}"
+        )
+    if deployments == 1:
+        return [deployment_id]
+    return [f"{deployment_id}-{i:03d}" for i in range(deployments)]
+
+
 async def replay_into_supervisor(
     recording: WireRecording,
     speed: float = 100.0,
@@ -227,52 +244,80 @@ async def replay_into_supervisor(
     engine: Optional[str] = None,
     fragment_bytes: Optional[int] = None,
     deployment_id: str = "replay",
-) -> ReplayResult:
+    deployments: int = 1,
+):
     """Serve a recording through a loopback fleet and return its fix.
 
-    Builds a single-deployment :class:`FleetSupervisor` from the
-    recording's registry snapshot, streams every captured frame over a
-    real socket at ``speed``x, waits for ingest to drain, and asks the
-    deployment for a 2D fix on ``(reader_name, antenna_port)``.
+    Builds a :class:`FleetSupervisor` from the recording's registry
+    snapshot, streams every captured frame over a real socket at
+    ``speed``x, waits for ingest to drain, and asks each deployment for
+    a 2D fix on ``(reader_name, antenna_port)``.
+
+    ``deployments=M`` clones the one recording across M synthetic
+    deployments (each with its own endpoint, loopback connection and
+    concurrent frame stream) — the multi-deployment load shape the
+    sharded fleet bench replays, without needing M captures.  Returns a
+    single :class:`ReplayResult` for ``M == 1`` (back-compat) and a
+    list of M results otherwise.
     """
     registry = recording.build_registry()
     config = pipeline if pipeline is not None else PipelineConfig()
+    deployment_ids = clone_deployment_ids(deployment_id, deployments)
 
     def server_factory() -> ResilientLocalizationServer:
         return ResilientLocalizationServer(registry, config, engine=engine)
 
     supervisor = FleetSupervisor()
-    supervisor.add_deployment(deployment_id, server_factory)
-    endpoint = WireIngestEndpoint(
-        supervisor, deployment_id, reader_name, decode=decode
-    )
+    endpoints: List[WireIngestEndpoint] = []
+    for clone_id in deployment_ids:
+        supervisor.add_deployment(clone_id, server_factory)
+        endpoints.append(
+            WireIngestEndpoint(
+                supervisor, clone_id, reader_name, decode=decode
+            )
+        )
+    results: List[ReplayResult] = []
     try:
-        host, port = await endpoint.start()
-        _reader, writer = await asyncio.open_connection(host, port)
-        await replay_frames(
-            recording, writer, speed=speed, fragment_bytes=fragment_bytes
-        )
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):  # pragma: no cover
-            pass
-        await endpoint.drain()
-        fix, diagnostics = await supervisor.locate_2d(
-            deployment_id, reader_name, antenna_port
-        )
+        writers: List[asyncio.StreamWriter] = []
+        for endpoint in endpoints:
+            host, port = await endpoint.start()
+            _reader, writer = await asyncio.open_connection(host, port)
+            writers.append(writer)
+        await asyncio.gather(*(
+            replay_frames(
+                recording, writer, speed=speed,
+                fragment_bytes=fragment_bytes,
+            )
+            for writer in writers
+        ))
+        for writer in writers:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        for endpoint in endpoints:
+            await endpoint.drain()
+        for clone_id, endpoint in zip(deployment_ids, endpoints):
+            fix, diagnostics = await supervisor.locate_2d(
+                clone_id, reader_name, antenna_port
+            )
+            results.append(ReplayResult(
+                fix=fix,
+                diagnostics=diagnostics,
+                truth=recording.truth,
+                reports_offered=sum(
+                    c.reports_offered for c in endpoint.connections
+                ),
+                reports_enqueued=sum(
+                    c.reports_enqueued for c in endpoint.connections
+                ),
+                stream_stats=endpoint.stats.as_dict(),
+            ))
     finally:
-        await endpoint.stop()
+        for endpoint in endpoints:
+            await endpoint.stop()
         await supervisor.stop()
-    return ReplayResult(
-        fix=fix,
-        diagnostics=diagnostics,
-        truth=recording.truth,
-        reports_offered=sum(
-            c.reports_offered for c in endpoint.connections
-        ),
-        reports_enqueued=sum(
-            c.reports_enqueued for c in endpoint.connections
-        ),
-        stream_stats=endpoint.stats.as_dict(),
-    )
+    if deployments == 1:
+        return results[0]
+    return results

@@ -288,3 +288,58 @@ def create_engine(
         f"'adaptive', 'adaptive-harmonic', 'streaming', 'harmonic' or "
         f"'harmonic+native'"
     )
+
+
+def merge_cache_stats(stats_dicts: Sequence[dict]) -> dict:
+    """Fold per-process ``cache_stats()`` dicts into fleet-wide totals.
+
+    Process fan-out (:class:`~repro.perf.parallel.ParallelEngine` in
+    process mode, the sharded fleet's worker processes) leaves each
+    worker holding its own cache counters; benchmarks that read only the
+    parent's engine report zeros.  This merges any number of snapshots:
+
+    * numeric counters sum;
+    * ``min``/``max`` keys take the elementwise min/max;
+    * ``mean`` keys recompute as a weighted mean over a sibling
+      ``count`` key (falling back to an unweighted mean without one);
+    * nested dicts merge recursively; ``None`` leaves are skipped.
+    """
+    stats_dicts = [d for d in stats_dicts if d]
+    if not stats_dicts:
+        return {}
+    merged: dict = {}
+    keys: List[str] = []
+    for d in stats_dicts:
+        for key in d:
+            if key not in keys:
+                keys.append(key)
+    for key in keys:
+        values = [d[key] for d in stats_dicts if key in d]
+        live = [v for v in values if v is not None]
+        if not live:
+            merged[key] = None
+        elif all(isinstance(v, dict) for v in live):
+            merged[key] = merge_cache_stats(live)
+        elif key == "min":
+            merged[key] = min(live)
+        elif key == "max":
+            merged[key] = max(live)
+        elif key == "mean":
+            pairs = [
+                (d["mean"], d.get("count", 1))
+                for d in stats_dicts
+                if d.get("mean") is not None
+            ]
+            weight = sum(count for _m, count in pairs)
+            merged[key] = (
+                sum(m * count for m, count in pairs) / weight
+                if weight
+                else None
+            )
+        elif all(isinstance(v, bool) for v in live):
+            merged[key] = any(live)
+        elif all(isinstance(v, (int, float)) for v in live):
+            merged[key] = sum(live)
+        else:
+            merged[key] = live[0]
+    return merged

@@ -45,11 +45,19 @@ def _process_engine() -> SpectrumEngine:
 
 
 def _process_azimuth(series, grid, sigma):
-    return _process_engine().azimuth_spectrum(series, grid, sigma)
+    engine = _process_engine()
+    spectrum = engine.azimuth_spectrum(series, grid, sigma)
+    # Ship the worker's cumulative cache counters home with every result:
+    # the parent keeps the latest snapshot per worker pid, so
+    # ``cache_stats()`` can report fleet-wide totals instead of the
+    # parent's (always-cold) local base.
+    return os.getpid(), engine.cache_stats(), spectrum
 
 
 def _process_joint(series, azimuths, polars, sigma):
-    return _process_engine().joint_spectrum(series, azimuths, polars, sigma)
+    engine = _process_engine()
+    spectrum = engine.joint_spectrum(series, azimuths, polars, sigma)
+    return os.getpid(), engine.cache_stats(), spectrum
 
 
 class ParallelEngine(SpectrumEngine):
@@ -90,6 +98,10 @@ class ParallelEngine(SpectrumEngine):
         self.name = f"parallel-{mode}"
         self._executor: Optional[concurrent.futures.Executor] = None
         self._serial = mode == "serial" or self.max_workers <= 1
+        #: Latest cache-stat snapshot per worker process (pid-keyed);
+        #: snapshots are cumulative per process so keeping the newest
+        #: one per pid and summing across pids is exact.
+        self._worker_cache_stats: dict = {}
 
     # ------------------------------------------------------------------
     # Pool management
@@ -129,7 +141,13 @@ class ParallelEngine(SpectrumEngine):
             return None
         try:
             futures = [pool.submit(task, *job) for job in jobs]
-            return [future.result() for future in futures]
+            results = [future.result() for future in futures]
+            if self.mode == "process":
+                # Process tasks return (pid, cumulative stats, spectrum).
+                for pid, stats, _spectrum in results:
+                    self._worker_cache_stats[pid] = stats
+                results = [spectrum for _pid, _stats, spectrum in results]
+            return results
         except concurrent.futures.BrokenExecutor as error:
             warnings.warn(
                 f"ParallelEngine: {self.mode} pool broke ({error}); "
@@ -210,9 +228,20 @@ class ParallelEngine(SpectrumEngine):
         self.base.invalidate_streams()
 
     def cache_stats(self) -> dict:
-        # Process workers hold their own caches; only the local base's
-        # counters are observable here.
-        return self.base.cache_stats()
+        """Cache counters including process workers' own caches.
+
+        Each process-mode result carries its worker's cumulative
+        counters; the newest snapshot per pid is merged with the local
+        base's so fan-out runs no longer report zeros.
+        """
+        from repro.perf.engine import merge_cache_stats
+
+        snapshots = [self.base.cache_stats()]
+        snapshots.extend(self._worker_cache_stats.values())
+        merged = merge_cache_stats(snapshots)
+        if self._worker_cache_stats:
+            merged["worker_processes"] = len(self._worker_cache_stats)
+        return merged
 
     def close(self) -> None:
         if self._executor is not None:

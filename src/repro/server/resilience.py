@@ -230,6 +230,27 @@ class ResilientLocalizationServer(LocalizationServer):
         }
 
     # ------------------------------------------------------------------
+    # Worker-side lifecycle hooks (sharded fleet)
+    # ------------------------------------------------------------------
+    def engine_cache_stats(self) -> dict:
+        """The spectrum engine's cache counters for this deployment.
+
+        Worker processes report these back to the sharded fleet's parent
+        so ``bench-engine``/fleet bench JSON can aggregate cache and
+        harmonic-order stats across the whole fleet instead of reading
+        the parent's (idle) engine.
+        """
+        return self.system.engine.cache_stats()
+
+    def close(self) -> None:
+        """Release engine-held resources (worker pools, caches).
+
+        Called by sharded-fleet workers during graceful shutdown; safe to
+        call more than once.
+        """
+        self.system.engine.close()
+
+    # ------------------------------------------------------------------
     # Supervised queries
     # ------------------------------------------------------------------
     def locate_antenna_2d(

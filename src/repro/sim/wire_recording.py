@@ -150,6 +150,28 @@ class WireRecording:
             registry.register(record)
         return registry
 
+    def decode_columnar_batches(self) -> list:
+        """Decode every frame once into columnar batches.
+
+        The sharded fleet bench fans one recording out to M deployments
+        across N workers; decoding per deployment would charge the LLRP
+        parse M times to every configuration.  This decodes each frame
+        exactly once (streaming parser, so fragmented captures work) and
+        returns the resulting
+        :class:`~repro.hardware.llrp_columnar.ColumnarReportBatch` list,
+        ready for repeated ``offer_columnar`` fan-out.
+        """
+        from repro.hardware.llrp_stream import StreamingLLRPParser
+
+        parser = StreamingLLRPParser()
+        batches = []
+        for frame in self.frames:
+            for _mid, cols in parser.feed_columnar(frame.payload):
+                if len(cols):
+                    batches.append(cols)
+        parser.close()
+        return batches
+
     # ------------------------------------------------------------------
     # Replay pacing
     # ------------------------------------------------------------------

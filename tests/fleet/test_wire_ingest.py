@@ -141,3 +141,53 @@ class TestEndpointMechanics:
                 await server.wait_closed()
 
         asyncio.run(run())
+
+
+class TestReplayFanOut:
+    def test_clone_ids_shapes(self):
+        from repro.fleet.wire_ingest import clone_deployment_ids
+
+        assert clone_deployment_ids("replay", 1) == ["replay"]
+        assert clone_deployment_ids("replay", 3) == [
+            "replay-000", "replay-001", "replay-002"
+        ]
+        with pytest.raises(ConfigurationError):
+            clone_deployment_ids("replay", 0)
+
+    def test_fanout_clones_agree_with_single_replay(
+        self, recording, reference_fix
+    ):
+        """One capture cloned across M deployments: every clone ingests
+        the full stream independently and lands on the identical fix."""
+        results = asyncio.run(
+            replay_into_supervisor(recording, speed=1e5, deployments=3)
+        )
+        assert isinstance(results, list) and len(results) == 3
+        offered = {r.reports_offered for r in results}
+        assert len(offered) == 1 and offered.pop() > 0
+        for result in results:
+            assert result.reports_enqueued == result.reports_offered
+            assert result.fix.position.x == pytest.approx(
+                reference_fix.position.x, abs=1e-9
+            )
+            assert result.fix.position.y == pytest.approx(
+                reference_fix.position.y, abs=1e-9
+            )
+
+    def test_decoded_batches_match_frame_parse(self, recording):
+        """decode_columnar_batches: one decode equals per-frame decode."""
+        from repro.hardware.llrp_stream import StreamingLLRPParser
+
+        batches = recording.decode_columnar_batches()
+        parser = StreamingLLRPParser()
+        expected = []
+        for frame in recording.frames:
+            for _mid, cols in parser.feed_columnar(frame.payload):
+                if len(cols):
+                    expected.append(cols)
+        assert len(batches) == len(expected)
+        total = sum(len(b) for b in batches)
+        assert total > 0
+        for got, want in zip(batches, expected):
+            assert got.epcs == want.epcs
+            assert (got.phase_rad == want.phase_rad).all()

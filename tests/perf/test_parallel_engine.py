@@ -152,3 +152,46 @@ class TestConstruction:
         assert create_engine(base) is base
         with pytest.raises(ValueError):
             create_engine("warp-drive")
+
+
+class TestMergeCacheStats:
+    def test_numeric_leaves_sum_and_special_keys(self):
+        from repro.perf.engine import merge_cache_stats
+
+        merged = merge_cache_stats([
+            {"spectra": {"hits": 2, "misses": 1},
+             "orders": {"count": 2, "min": 3, "max": 7, "mean": 5.0}},
+            {"spectra": {"hits": 5, "misses": 0},
+             "orders": {"count": 6, "min": 1, "max": 5, "mean": 2.0}},
+        ])
+        assert merged["spectra"] == {"hits": 7, "misses": 1}
+        # min/max take extrema; mean is weighted by the sibling count.
+        assert merged["orders"]["count"] == 8
+        assert merged["orders"]["min"] == 1
+        assert merged["orders"]["max"] == 7
+        assert merged["orders"]["mean"] == pytest.approx(
+            (5.0 * 2 + 2.0 * 6) / 8
+        )
+
+    def test_empty_and_missing_inputs_are_skipped(self):
+        from repro.perf.engine import merge_cache_stats
+
+        assert merge_cache_stats([]) == {}
+        assert merge_cache_stats([{}, {"a": 1}, None]) == {"a": 1}
+
+
+class TestProcessWorkerStats:
+    def test_process_mode_surfaces_worker_cache_stats(self):
+        # The regression this guards: process workers hold their own
+        # caches, so the parent's cache_stats() read zero under process
+        # fan-out (bench JSON showed no cache activity at all).  Workers
+        # now piggyback cumulative snapshots on every batch result.
+        series_list = _batch()
+        expected = ReferenceEngine().azimuth_spectra(series_list, GRID, 0.14)
+        with ParallelEngine(mode="process", max_workers=2) as engine:
+            spectra = engine.azimuth_spectra(series_list, GRID, 0.14)
+            for want, got in zip(expected, spectra):
+                assert np.array_equal(want.power, got.power)
+            stats = engine.cache_stats()
+        assert stats["worker_processes"] >= 1
+        assert stats["spectra"]["misses"] >= len(series_list)
