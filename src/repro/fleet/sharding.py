@@ -107,7 +107,12 @@ class ShmRing:
     Allocation and release are both parent-side (the worker only *acks*
     releases over the pipe), so no cross-process locking is needed: the
     pipe's FIFO ordering guarantees releases arrive in allocation order,
-    which is exactly the discipline a bip-buffer requires.
+    which is exactly the discipline a bip-buffer requires.  A process-
+    local lock is still required — ``alloc`` runs on the offering thread
+    while ``release`` runs on the per-worker reader thread, and a lost
+    update on ``_used`` would either hand out bytes overlapping an
+    in-flight slot (silent data corruption) or strand the ring in
+    permanent pickle fallback.
     """
 
     def __init__(self, nbytes: int = DEFAULT_RING_BYTES) -> None:
@@ -115,6 +120,7 @@ class ShmRing:
             raise ValueError("ring too small")
         self.capacity = nbytes
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._lock = threading.Lock()
         self._head = 0
         self._used = 0
         self._inflight: Deque[Tuple[int, int, int]] = deque()
@@ -140,34 +146,61 @@ class ShmRing:
         size = max(8, (size + 7) & ~7)
         if size > self.capacity:
             return None
-        pad = 0
-        offset = self._head
-        if offset + size > self.capacity:
-            # Wrap: the skipped tail bytes stay accounted until release.
-            pad = self.capacity - offset
-            offset = 0
-        if size + pad > self.capacity - self._used:
-            return None
-        self._inflight.append((offset, size, pad))
-        self._used += size + pad
-        self._head = (offset + size) % self.capacity
-        return offset
+        with self._lock:
+            pad = 0
+            offset = self._head
+            if offset + size > self.capacity:
+                # Wrap: the skipped tail bytes stay accounted until
+                # release.
+                pad = self.capacity - offset
+                offset = 0
+            if size + pad > self.capacity - self._used:
+                return None
+            self._inflight.append((offset, size, pad))
+            self._used += size + pad
+            self._head = (offset + size) % self.capacity
+            return offset
 
     def release(self, offset: int) -> None:
         """Free the oldest slot (FIFO); ``offset`` cross-checks protocol."""
-        if not self._inflight:
-            raise ValueError("release with no slot in flight")
-        slot_offset, size, pad = self._inflight.popleft()
-        if slot_offset != offset:
-            raise ValueError(
-                f"out-of-order release: expected {slot_offset}, "
-                f"got {offset}"
-            )
-        self._used -= size + pad
+        with self._lock:
+            if not self._inflight:
+                raise ValueError("release with no slot in flight")
+            slot_offset, size, pad = self._inflight.popleft()
+            if slot_offset != offset:
+                self._inflight.appendleft((slot_offset, size, pad))
+                raise ValueError(
+                    f"out-of-order release: expected {slot_offset}, "
+                    f"got {offset}"
+                )
+            self._used -= size + pad
+
+    def cancel(self, offset: int) -> bool:
+        """Undo the *newest* allocation (it was never shipped).
+
+        Used when the pipe send fails after a successful :meth:`alloc`:
+        the worker will never ack a release for that slot, so the parent
+        must take the bytes back itself or the accounting leaks until
+        the ring degrades to permanent pickle fallback.  Only the most
+        recent slot can be cancelled (anything older may already be in
+        flight); returns False when ``offset`` is not that slot.
+        """
+        with self._lock:
+            if not self._inflight or self._inflight[-1][0] != offset:
+                return False
+            slot_offset, size, pad = self._inflight.pop()
+            self._used -= size + pad
+            # Rewind the head to where this alloc found it (the slot
+            # start, or the pre-wrap tail when the alloc wrapped).
+            self._head = (
+                self.capacity - pad if pad else slot_offset
+            ) % self.capacity
+            return True
 
     def close(self, unlink: bool = True) -> None:
-        self._inflight.clear()
-        self._used = 0
+        with self._lock:
+            self._inflight.clear()
+            self._used = 0
         try:
             self._shm.close()
         except OSError:  # pragma: no cover - defensive
@@ -489,11 +522,20 @@ class ShardedFleet:
                     ("offer_cols_inline", deployment_id, reader_name, cols),
                 )
             else:
-                meta = cols.pack_into(handle.ring.buf, offset)
-                self._send(
-                    handle,
-                    ("offer_cols", deployment_id, reader_name, offset, meta),
-                )
+                try:
+                    meta = cols.pack_into(handle.ring.buf, offset)
+                    self._send(
+                        handle,
+                        ("offer_cols", deployment_id, reader_name, offset,
+                         meta),
+                    )
+                except BaseException:
+                    # The worker never saw this slot, so it will never
+                    # ack a release — take the bytes back here or the
+                    # ring accounting leaks across incarnations.
+                    if handle.ring is not None:
+                        handle.ring.cancel(offset)
+                    raise
         except WorkerUnavailableError:
             self._reject_down(route, deployment_id, reader_name, count)
             return 0
@@ -562,7 +604,12 @@ class ShardedFleet:
             for handle in self._workers:
                 if not handle.alive:
                     continue
-                ledgers = self._request(handle, "sync")
+                try:
+                    ledgers = self._request(handle, "sync")
+                except WorkerUnavailableError:
+                    # Died mid-drain: skip it, like any other dead
+                    # worker — its fate is folded on kill/restart.
+                    continue
                 handle.last_ledger.update(ledgers)
                 for deployment_id, snap in ledgers.items():
                     route = self._routes.get(deployment_id)
@@ -747,6 +794,18 @@ class ShardedFleet:
             raise ConfigurationError(
                 f"worker {index} is still running; kill it first"
             )
+        if handle.ring is not None:
+            # Uncommanded death (reader saw EOF; nothing folded yet):
+            # settle the dead incarnation's ledger and release its
+            # shared-memory segment before spawning the replacement,
+            # else the segment leaks, ``dispatched`` keeps the dead
+            # incarnation's count and drain() can never settle.
+            if handle.process is not None:
+                handle.process.join(10.0)
+            if handle.reader is not None:
+                handle.reader.join(5.0)
+            self._fold_worker(handle, crashed=True)
+            self._teardown_handle(handle)
         self._spawn(handle)
         self._emit(
             f"worker-{index}",

@@ -172,7 +172,7 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
         JsonCheckpointStore,
         MemoryCheckpointStore,
     )
-    from repro.fleet.events import EventLog
+    from repro.fleet.events import EVENT_INGEST_REJECTED, EventLog
     from repro.fleet.supervisor import FleetSupervisor, SupervisorPolicy
     from repro.hardware.llrp_columnar import ColumnarReportBatch
 
@@ -238,6 +238,27 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
 
     def ledger_ack(deployment_id: str) -> None:
         send(("ledger", deployment_id, supervisor.accounting(deployment_id)))
+
+    def reject_ingest(deployment_id: str, reader_name: str,
+                      exc: BaseException) -> None:
+        """Record a failed fire-and-forget ingest without dying.
+
+        An exception out of an ingest branch would otherwise escape the
+        serve loop and take down every deployment on this shard.
+        Control requests reply with their error; ingest has no reply, so
+        the failure is recorded as an event (and the ledger snapshot is
+        refreshed when the deployment is known).
+        """
+        events.emit(
+            deployment_id,
+            EVENT_INGEST_REJECTED,
+            reader_name=reader_name,
+            error=repr(exc),
+        )
+        try:
+            ledger_ack(deployment_id)
+        except Exception:  # unknown deployment (e.g. restart race)
+            pass
 
     def engine_stats() -> dict:
         stats = {}
@@ -384,23 +405,39 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
             kind = message[0]
             if kind == "offer":
                 _, deployment_id, reader_name, reports = message
-                supervisor.offer(deployment_id, reader_name, reports)
-                ledger_ack(deployment_id)
+                try:
+                    supervisor.offer(deployment_id, reader_name, reports)
+                    ledger_ack(deployment_id)
+                except Exception as exc:
+                    reject_ingest(deployment_id, reader_name, exc)
             elif kind == "offer_cols":
                 _, deployment_id, reader_name, slot_offset, meta = message
-                cols = ColumnarReportBatch.unpack_from(
-                    shm.buf, meta, offset=slot_offset, copy=True
-                )
-                # Release before ingest: the copy above detached us from
-                # the segment, so the parent can reuse the slot while
-                # the actor is still chewing on the batch.
-                send(("release", slot_offset))
-                supervisor.offer_columnar(deployment_id, reader_name, cols)
-                ledger_ack(deployment_id)
+                try:
+                    try:
+                        cols = ColumnarReportBatch.unpack_from(
+                            shm.buf, meta, offset=slot_offset, copy=True
+                        )
+                    finally:
+                        # Release unconditionally (even on corrupt
+                        # meta): the copy detached us from the segment,
+                        # and a slot the parent never gets back wedges
+                        # the ring's FIFO.
+                        send(("release", slot_offset))
+                    supervisor.offer_columnar(
+                        deployment_id, reader_name, cols
+                    )
+                    ledger_ack(deployment_id)
+                except Exception as exc:
+                    reject_ingest(deployment_id, reader_name, exc)
             elif kind == "offer_cols_inline":
                 _, deployment_id, reader_name, cols = message
-                supervisor.offer_columnar(deployment_id, reader_name, cols)
-                ledger_ack(deployment_id)
+                try:
+                    supervisor.offer_columnar(
+                        deployment_id, reader_name, cols
+                    )
+                    ledger_ack(deployment_id)
+                except Exception as exc:
+                    reject_ingest(deployment_id, reader_name, exc)
             else:
                 keep_serving = await handle_request(message)
                 if not keep_serving:

@@ -10,6 +10,11 @@ guarantee a ``kill -9`` is not allowed to break.
 from __future__ import annotations
 
 import os
+import queue
+import signal
+import threading
+import time
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
@@ -135,6 +140,75 @@ class TestShmRing:
             ring.alloc(64)
             with pytest.raises(ValueError):
                 ring.release(64)  # second slot before the first
+        finally:
+            ring.close()
+
+    def test_concurrent_alloc_release_stays_consistent(self):
+        """alloc (offer thread) and release (reader thread) race.
+
+        A lost update on ``_used`` either hands out overlapping bytes
+        (corruption) or strands the ring full (permanent fallback); with
+        the lock the accounting must come back to exactly zero.
+        """
+        ring = ShmRing(1 << 12)
+        inflight: "queue.Queue" = queue.Queue()
+        errors = []
+
+        def consumer():
+            try:
+                while True:
+                    offset = inflight.get()
+                    if offset is None:
+                        return
+                    ring.release(offset)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        try:
+            produced = 0
+            while produced < 2000:
+                offset = ring.alloc(64)
+                if offset is None:
+                    continue
+                inflight.put(offset)
+                produced += 1
+        finally:
+            inflight.put(None)
+            thread.join(30.0)
+        try:
+            assert not errors
+            assert ring.used == 0
+            assert ring.inflight == 0
+        finally:
+            ring.close()
+
+    def test_cancel_reclaims_newest_unshipped_slot(self):
+        ring = ShmRing(1 << 10)
+        try:
+            first = ring.alloc(64)
+            second = ring.alloc(64)
+            # Only the newest slot is cancellable (older may be in
+            # flight at the worker already).
+            assert ring.cancel(first) is False
+            assert ring.cancel(second) is True
+            assert ring.used == 64
+            assert ring.alloc(64) == second  # head rewound
+        finally:
+            ring.close()
+
+    def test_cancel_of_wrapped_slot_restores_tail(self):
+        ring = ShmRing(1 << 10)
+        try:
+            slots = [ring.alloc(200) for _ in range(5)]
+            for offset in slots:
+                ring.release(offset)
+            wrapped = ring.alloc(200)  # pads the 24-byte tail, wraps
+            assert wrapped == 0
+            assert ring.cancel(wrapped) is True
+            assert ring.used == 0
+            assert ring.alloc(16) == 1000  # tail bytes usable again
         finally:
             ring.close()
 
@@ -319,6 +393,84 @@ class TestShardedFleetServing:
             assert ledger["delivered"] == len(reports)
             assert ledger["lost_in_crash"] == 0
             assert ledger["rejected_open"] == 10
+            assert_balanced(ledger)
+        finally:
+            fleet.close()
+
+    def test_restart_after_uncommanded_death_settles(
+        self, calibrated_scenario_2d, collected
+    ):
+        """A worker dying on its own (not via ``kill_worker``) leaves an
+        unfolded incarnation behind; ``restart_shard`` must fold it and
+        unlink its shm segment, or ``dispatched`` keeps the dead count
+        and ``drain`` can never settle."""
+        reports = collected.reports
+        fleet = ShardedFleet(workers=1, request_timeout_s=120.0)
+        fleet.start()
+        try:
+            fleet.add_deployment(
+                make_spec(calibrated_scenario_2d, "dep-ucd")
+            )
+            fleet.offer("dep-ucd", "reader-1", reports[:100])
+            fleet.drain(timeout_s=120.0)
+            handle = fleet._workers[0]
+            old_ring_name = handle.ring.name
+            os.kill(handle.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while handle.alive and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not handle.alive
+
+            fleet.restart_shard(0)
+            # The dead incarnation's segment must be gone, not leaked.
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=old_ring_name)
+            fleet.offer("dep-ucd", "reader-1", reports[100:200])
+            fleet.drain(timeout_s=120.0)  # hung forever pre-fix
+            ledger = fleet.accounting("dep-ucd")
+            assert ledger["offered"] == 200
+            assert ledger["delivered"] == 200
+            assert_balanced(ledger)
+        finally:
+            fleet.close()
+
+    def test_worker_survives_bad_ingest(
+        self, calibrated_scenario_2d, collected
+    ):
+        """Fire-and-forget ingest failures must not kill the shard.
+
+        An unknown deployment id reaching the worker (restart race) and
+        a corrupt shm slot meta both have to be contained: the worker
+        records an ingest-rejected event (releasing the slot in the
+        columnar case) and keeps serving every other deployment."""
+        fleet = ShardedFleet(workers=1, request_timeout_s=120.0)
+        fleet.start()
+        try:
+            fleet.add_deployment(
+                make_spec(calibrated_scenario_2d, "dep-robust")
+            )
+            handle = fleet._workers[0]
+            # Bypass parent routing: unknown deployment on the worker.
+            fleet._send(
+                handle, ("offer", "no-such-dep", "reader-1", [])
+            )
+            # Corrupt columnar meta in an otherwise valid slot.
+            offset = handle.ring.alloc(64)
+            fleet._send(
+                handle,
+                ("offer_cols", "dep-robust", "reader-1", offset, object()),
+            )
+            fleet.offer("dep-robust", "reader-1", collected.reports[:50])
+            fleet.drain(timeout_s=120.0)
+            assert handle.alive
+            # The corrupt slot's release ack still came back.
+            deadline = time.monotonic() + 30.0
+            while handle.ring.inflight and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert handle.ring.inflight == 0
+            assert fleet.worker_events().get("ingest-rejected", 0) >= 2
+            ledger = fleet.accounting("dep-robust")
+            assert ledger["offered"] == 50
             assert_balanced(ledger)
         finally:
             fleet.close()
