@@ -43,10 +43,15 @@ from repro.perf.bench import (
     SCALES,
     format_results,
     format_streaming,
+    format_telemetry_overhead,
     results_to_json,
     run_engine_scaling,
     run_streaming_microbench,
+    run_telemetry_overhead,
 )
+
+#: Telemetry overhead the --quick gate tolerates on the medium scenario.
+MAX_TELEMETRY_OVERHEAD = 0.03
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -112,6 +117,26 @@ def main(argv=None) -> int:
         help="skip the streaming cold-vs-append microbenchmark",
     )
     parser.add_argument(
+        "--telemetry-overhead",
+        action="store_true",
+        help="also measure instrumented-vs-disabled telemetry cost on "
+        "the medium scenario; with --quick this gates the overhead",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=MAX_TELEMETRY_OVERHEAD,
+        help="telemetry overhead fraction the --quick gate tolerates "
+        "(default 0.03)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the run's tagspin-metrics/1 snapshot to this path "
+        "(CI artifact)",
+    )
+    parser.add_argument(
         "--json",
         type=Path,
         default=None,
@@ -147,7 +172,27 @@ def main(argv=None) -> int:
         print()
         print(format_streaming(streaming))
 
-    payload = results_to_json(results, streaming=streaming)
+    telemetry = None
+    if args.telemetry_overhead:
+        telemetry = run_telemetry_overhead(
+            scale="medium",
+            rounds=rounds,
+            seed=args.seed,
+            snapshots=overrides.get("snapshots"),
+            tolerance=args.tolerance,
+        )
+        print()
+        print(format_telemetry_overhead(telemetry))
+
+    from repro.obs.metrics import get_registry
+
+    metrics_snapshot = get_registry().snapshot()
+    payload = results_to_json(
+        results,
+        streaming=streaming,
+        telemetry=telemetry,
+        metrics=metrics_snapshot,
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "engine_scaling.txt").write_text(table + "\n")
     mode = "quick" if args.quick else "full"
@@ -158,6 +203,14 @@ def main(argv=None) -> int:
         harmonic_trajectory = RESULTS_DIR / "BENCH_harmonic.json"
         harmonic_trajectory.write_text(payload)
         print(f"wrote {harmonic_trajectory}")
+    if args.metrics_out is not None:
+        import json as json_module
+
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            json_module.dumps(metrics_snapshot, indent=2) + "\n"
+        )
+        print(f"wrote {args.metrics_out}")
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(payload)
@@ -224,6 +277,21 @@ def main(argv=None) -> int:
                         f"(max angular error {harmonic.max_angular_error:.2e}"
                         f" <= {harmonic.error_budget:.0e} rad)"
                     )
+        if telemetry is not None:
+            if telemetry.overhead_fraction > args.max_telemetry_overhead:
+                failures.append(
+                    f"telemetry overhead "
+                    f"{telemetry.overhead_fraction * 100:.2f}% exceeds "
+                    f"{args.max_telemetry_overhead * 100:.0f}% on the "
+                    f"{telemetry.scenario} scenario"
+                )
+            else:
+                print(
+                    f"OK: telemetry overhead is "
+                    f"{telemetry.overhead_fraction * 100:+.2f}% on the "
+                    f"{telemetry.scenario} scenario "
+                    f"(<= {args.max_telemetry_overhead * 100:.0f}%)"
+                )
         if streaming is not None:
             if streaming.warm_s >= streaming.cold_s:
                 failures.append(

@@ -60,6 +60,7 @@ from repro.fleet.events import EventLog
 from repro.fleet.sharding import ShardedFleet
 from repro.fleet.supervisor import FleetSupervisor, SupervisorPolicy
 from repro.fleet.worker import DeploymentSpec
+from repro.obs.metrics import get_registry
 from repro.server.resilience import ResilientLocalizationServer, RetryPolicy
 from repro.sim.scenario import paper_default_scenario
 from repro.sim.wire_recording import WireRecording
@@ -325,6 +326,9 @@ def _bench_sharded(scenario, batches, ids, workers):
     fleet.locate_2d_sync(victim, "reader-1")
 
     pids = [info["pid"] for info in fleet.worker_info() if info["pid"]]
+    # Point-in-time merge across both workers plus the SIGKILLed
+    # incarnation's fold — captured before close() tears the pipes down.
+    telemetry_snapshot = fleet.metrics_snapshot()
     summary = fleet.close()
     orphans = []
     for pid in pids:
@@ -358,6 +362,7 @@ def _bench_sharded(scenario, batches, ids, workers):
         },
         "close_summary": summary,
         "orphan_pids": orphans,
+        "metrics_snapshot": telemetry_snapshot,
     }, fixes
 
 
@@ -540,6 +545,9 @@ def main(argv=None) -> int:
                 "benchmark": "fleet-sharded",
                 "mode": "sharded",
                 "config": config,
+                # "metrics" holds the bench measurements; the registry
+                # snapshot (tagspin-metrics/1) rides under its own key.
+                "metrics_snapshot": metrics.pop("metrics_snapshot", None),
                 "metrics": metrics,
             },
             indent=2,
@@ -605,6 +613,7 @@ def main(argv=None) -> int:
                 "chunk_size": args.chunk_size,
             },
             "metrics": metrics,
+            "metrics_snapshot": get_registry().snapshot(),
             "chaos": chaos_doc,
         },
         indent=2,

@@ -45,6 +45,7 @@ from repro.hardware.llrp_wire import (
     decode_ro_access_report,
     encode_ro_access_report,
 )
+from repro.obs.metrics import get_registry
 from repro.sim.scenario import paper_default_scenario
 from repro.sim.wire_recording import WireRecording
 
@@ -239,6 +240,9 @@ def main(argv=None) -> int:
                 "min_speedup": args.min_speedup,
             },
             "metrics": metrics,
+            # tagspin-metrics/1 registry snapshot of this run (stream
+            # resyncs, ingest counters) next to the timings.
+            "metrics_snapshot": get_registry().snapshot(),
         },
         indent=2,
         sort_keys=True,

@@ -233,7 +233,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         f" {quarantine.reordered} reordered"
     )
     print()
-    monitor_batch = server._batch_for("reader-1", 1)
+    monitor_batch = server.batch_for("reader-1", 1)
     print(format_health_table(
         list(server.monitor.check_all(monitor_batch).values())
     ))
@@ -274,6 +274,62 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         path.write_text(results_to_json(results, streaming=streaming))
         print(f"wrote {path}")
     return 0
+
+
+def _format_metrics_table(snapshot: dict, deployment_ids: List[str]) -> str:
+    """Compact per-deployment telemetry table from a metrics snapshot.
+
+    Reads only the public ``tagspin-metrics/1`` surface — the same
+    numbers a Prometheus scrape would see — so the status output stays
+    exact across worker restarts (dead incarnations are already folded
+    into the snapshot).
+    """
+    from repro.obs.exposition import (
+        histogram_quantile,
+        histogram_totals,
+        sample_value,
+    )
+
+    header = (
+        f"{'deployment':>14} | {'delivered':>9} | {'accepted':>8} | "
+        f"{'shed':>5} | {'pending':>7} | {'fixes ok/err':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for deployment_id in deployment_ids:
+        labels = {"deployment": deployment_id}
+        delivered = sample_value(
+            snapshot, "tagspin_reports_delivered_total", labels
+        )
+        accepted = sample_value(
+            snapshot, "tagspin_reports_accepted_total", labels
+        )
+        shed = sample_value(snapshot, "tagspin_reports_shed_total", labels)
+        pending = sample_value(snapshot, "tagspin_mailbox_pending", labels)
+        ok = sample_value(
+            snapshot, "tagspin_fixes_total",
+            {"deployment": deployment_id, "outcome": "ok"},
+        )
+        errors = sample_value(
+            snapshot, "tagspin_fixes_total",
+            {"deployment": deployment_id, "outcome": "error"},
+        ) + sample_value(
+            snapshot, "tagspin_fixes_total",
+            {"deployment": deployment_id, "outcome": "deadline"},
+        )
+        lines.append(
+            f"{deployment_id:>14} | {int(delivered):>9} | "
+            f"{int(accepted):>8} | {int(shed):>5} | {int(pending):>7} | "
+            f"{int(ok):>9}/{int(errors)}"
+        )
+    totals = histogram_totals(snapshot, "tagspin_fix_seconds")
+    if totals["count"]:
+        p50 = histogram_quantile(totals, 0.5) * 1e3
+        p99 = histogram_quantile(totals, 0.99) * 1e3
+        lines.append(
+            f"fix latency: {totals['count']} fixes, "
+            f"p50 <= {p50:.1f} ms, p99 <= {p99:.1f} ms"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -397,6 +453,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await supervisor.stop()
 
     asyncio.run(session())
+    print()
+    print(_format_metrics_table(supervisor.metrics_snapshot(), ids))
     print(
         "events: "
         + ", ".join(
@@ -493,8 +551,11 @@ def _serve_sharded(args: argparse.Namespace, scenario, batch, truth) -> int:
                 f"{len(info.get('deployments', []))} deployment(s), "
                 f"{info['ring_fallbacks']} ring fallback(s)"
             )
+        snapshot = fleet.metrics_snapshot()
     finally:
         fleet.close()
+    print()
+    print(_format_metrics_table(snapshot, ids))
     print(
         "events: "
         + ", ".join(
@@ -503,6 +564,104 @@ def _serve_sharded(args: argparse.Namespace, scenario, batch, truth) -> int:
         )
     )
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``tagspin metrics``: run a short sharded session and dump telemetry.
+
+    Streams one simulated collection through a multi-process fleet
+    (optionally SIGKILLing and restarting a worker mid-stream), takes a
+    fleet-wide ``tagspin-metrics/1`` snapshot — exact across the kill —
+    and emits it as Prometheus text and/or versioned JSON.  The ledger
+    reconciliation is printed to stderr so the exposition on stdout
+    stays machine-readable.
+    """
+    import json as json_module
+
+    import numpy as np
+
+    from repro.core.geometry import Point3
+    from repro.fleet.sharding import ShardedFleet
+    from repro.fleet.worker import DeploymentSpec
+    from repro.hardware.llrp_columnar import ColumnarReportBatch
+    from repro.obs.exposition import sample_value, to_prometheus
+
+    scenario = paper_default_scenario(seed=args.seed)
+    scenario.run_orientation_prelude()
+    batch, _reader = scenario.collect(Point3(args.x, args.y, 0.0))
+    records = tuple(scenario.scene.registry)
+    ids = [f"deployment-{i:02d}" for i in range(args.deployments)]
+
+    fleet = ShardedFleet(workers=args.workers, request_timeout_s=120.0)
+    fleet.start()
+    try:
+        for deployment_id in ids:
+            fleet.add_deployment(DeploymentSpec(
+                deployment_id=deployment_id,
+                registry_records=records,
+                pipeline=scenario.config.pipeline,
+                engine="streaming",
+            ))
+        cols = ColumnarReportBatch.from_reports(batch.reports)
+        chunks = [
+            cols.select(np.arange(i, min(i + args.chunk_size, len(cols))))
+            for i in range(0, len(cols), args.chunk_size)
+        ]
+        kill_at = len(chunks) // 2 if args.kill else -1
+        for index, chunk in enumerate(chunks):
+            if index == kill_at:
+                victim_shard = fleet.shard_of(ids[0])
+                print(
+                    f"-- SIGKILL worker {victim_shard} mid-stream --",
+                    file=sys.stderr,
+                )
+                fleet.drain(timeout_s=120.0)
+                fleet.checkpoint(ids[0])
+                fleet.kill_worker(victim_shard)
+                fleet.restart_shard(victim_shard)
+            for deployment_id in ids:
+                fleet.offer_columnar(deployment_id, "reader-1", chunk)
+        fleet.drain(timeout_s=120.0)
+        for deployment_id in ids:
+            fleet.locate_2d_sync(deployment_id, "reader-1")
+        snapshot = fleet.metrics_snapshot()
+        mismatched = 0
+        for deployment_id in ids:
+            ledger = fleet.accounting(deployment_id)
+            counted = sample_value(
+                snapshot,
+                "tagspin_reports_delivered_total",
+                {"deployment": deployment_id},
+            )
+            if counted != ledger["delivered"]:
+                mismatched += 1
+                print(
+                    f"MISMATCH {deployment_id}: counter {counted:g} != "
+                    f"ledger {ledger['delivered']}",
+                    file=sys.stderr,
+                )
+        print(
+            f"reconciled {len(ids)} deployments across "
+            f"{args.workers} workers"
+            + (" (1 SIGKILL + restart)" if args.kill else "")
+            + f": {len(ids) - mismatched} exact, {mismatched} mismatched",
+            file=sys.stderr,
+        )
+    finally:
+        fleet.close()
+
+    if args.format in ("prom", "both"):
+        sys.stdout.write(to_prometheus(snapshot))
+    if args.format in ("json", "both"):
+        sys.stdout.write(json_module.dumps(snapshot, indent=2) + "\n")
+    if args.out is not None:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_module.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if mismatched == 0 else 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -713,6 +872,29 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--y", type=float, default=1.9, help="reader y [m]")
     _add_common(ps)
     ps.set_defaults(func=_cmd_serve)
+
+    pm = subparsers.add_parser(
+        "metrics",
+        help="run a short sharded session and dump the telemetry "
+        "snapshot (Prometheus text / tagspin-metrics/1 JSON)",
+    )
+    pm.add_argument("--workers", type=int, default=2,
+                    help="worker processes to shard across (>= 1)")
+    pm.add_argument("--deployments", type=int, default=4,
+                    help="number of deployments to stream")
+    pm.add_argument("--chunk-size", type=int, default=200,
+                    help="reports per offered ingest batch")
+    pm.add_argument("--kill", action="store_true",
+                    help="SIGKILL + restart one worker mid-stream; the "
+                    "snapshot must stay exact across the fold")
+    pm.add_argument("--format", choices=("prom", "json", "both"),
+                    default="prom", help="exposition format on stdout")
+    pm.add_argument("--out", default=None,
+                    help="also write the JSON snapshot to this path")
+    pm.add_argument("--x", type=float, default=0.4, help="reader x [m]")
+    pm.add_argument("--y", type=float, default=1.9, help="reader y [m]")
+    _add_common(pm)
+    pm.set_defaults(func=_cmd_metrics)
 
     pr = subparsers.add_parser(
         "replay",

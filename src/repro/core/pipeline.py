@@ -44,6 +44,8 @@ from repro.core.spectrum import (
 )
 from repro.errors import InsufficientDataError
 from repro.hardware.llrp import ReportBatch
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.perf.engine import EngineSpec, create_engine
 from repro.robustness.diagnostics import DiskExclusion, PipelineDiagnostics
 from repro.robustness.gating import (
@@ -390,27 +392,40 @@ class TagspinSystem:
         phases that mislead it, and the unweighted Q degrades more
         gracefully (the paper's own Q-vs-R ablation shows this regime).
         """
+        tracer = get_tracer()
         epcs = self._spinning_epcs_in(batch, antenna_port)
-        all_series, starved = self._extract_series_gated(
-            batch, epcs, antenna_port
-        )
+        with tracer.span("extract", port=antenna_port) as extract_span:
+            all_series, starved = self._extract_series_gated(
+                batch, epcs, antenna_port
+            )
+            extract_span.annotate(
+                disks=len(all_series), starved=len(starved)
+            )
         usable = [epc for epc in epcs if epc in all_series]
         if len(usable) < 2:
             raise InsufficientDataError(
                 "fewer than two disks produced usable phase series"
             )
-        spectra = dict(
-            zip(
-                usable,
-                self._azimuth_spectra_batch(
-                    [all_series[epc] for epc in usable]
-                ),
+        with tracer.span("spectrum", kind="azimuth", disks=len(usable)):
+            spectra = dict(
+                zip(
+                    usable,
+                    self._azimuth_spectra_batch(
+                        [all_series[epc] for epc in usable]
+                    ),
+                )
             )
-        )
         scored = self._score_disks(usable, all_series, spectra)
         kept, gate_excluded = select_disks(scored, self.config.gating)
         qualities = scored + starved
         excluded = gate_excluded + starved
+        if excluded:
+            get_registry().counter(
+                "tagspin_disk_exclusions_total",
+                "Disks dropped by the quality gate (or starved of "
+                "series) before triangulation.",
+                mode="2d",
+            ).inc(len(excluded))
         if len(kept) < 2:
             raise InsufficientDataError(
                 "disk quality gating left fewer than two usable disks"
@@ -423,11 +438,24 @@ class TagspinSystem:
             self.config.use_enhanced_profile
             and fix.residual > self.config.gating.fallback_residual_m
         ):
-            q_fix = self._locate_2d_from(kept, all_series, enhanced=False)
-            if q_fix.residual < fix.residual:
-                fix = q_fix
-                profile = "Q"
-                fallback_applied = True
+            with tracer.span(
+                "fallback", mode="2d", residual_m=fix.residual
+            ) as fb_span:
+                q_fix = self._locate_2d_from(
+                    kept, all_series, enhanced=False
+                )
+                if q_fix.residual < fix.residual:
+                    fix = q_fix
+                    profile = "Q"
+                    fallback_applied = True
+                fb_span.annotate(applied=fallback_applied)
+            if fallback_applied:
+                get_registry().counter(
+                    "tagspin_profile_fallbacks_total",
+                    "Fixes where the R-to-Q profile fallback won "
+                    "(lower residual).",
+                    mode="2d",
+                ).inc()
 
         diagnostics = PipelineDiagnostics(
             disks_used=tuple(kept),
@@ -448,31 +476,36 @@ class TagspinSystem:
         enhanced: Optional[bool],
     ) -> Fix2D:
         """Triangulate a fixed disk subset (the clean locate_2d core)."""
+        tracer = get_tracer()
         centers = [
             self.registry.get(epc).disk.center.horizontal() for epc in epcs
         ]
         locator = TagspinLocator2D()
-        spectra = self._azimuth_spectra_batch(
-            [all_series[epc] for epc in epcs], enhanced
-        )
+        with tracer.span("spectrum", kind="azimuth", disks=len(epcs)):
+            spectra = self._azimuth_spectra_batch(
+                [all_series[epc] for epc in epcs], enhanced
+            )
         fix = locator.locate(centers, spectra)
 
         if self.config.orientation_calibration and any(
             self.registry.get(epc).orientation_profile is not None
             for epc in epcs
         ):
-            coarse = Point3(fix.position.x, fix.position.y, 0.0)
-            corrected_groups = []
-            for epc in epcs:
-                record = self.registry.get(epc)
-                corrected_groups.append(
-                    [
-                        self._orientation_corrected(record, s, coarse)
-                        for s in all_series[epc]
-                    ]
+            with tracer.span("refine", kind="orientation"):
+                coarse = Point3(fix.position.x, fix.position.y, 0.0)
+                corrected_groups = []
+                for epc in epcs:
+                    record = self.registry.get(epc)
+                    corrected_groups.append(
+                        [
+                            self._orientation_corrected(record, s, coarse)
+                            for s in all_series[epc]
+                        ]
+                    )
+                refined = self._azimuth_spectra_batch(
+                    corrected_groups, enhanced
                 )
-            refined = self._azimuth_spectra_batch(corrected_groups, enhanced)
-            fix = locator.locate(centers, refined)
+                fix = locator.locate(centers, refined)
         return fix
 
     def locate_3d_diagnosed(
@@ -484,6 +517,7 @@ class TagspinSystem:
         a vertical disk, when present, only re-ranks the mirror
         candidates and is never gated.
         """
+        tracer = get_tracer()
         epcs = self._spinning_epcs_in(batch, antenna_port)
         horizontal = [
             epc for epc in epcs if self.registry.get(epc).disk.is_horizontal
@@ -493,23 +527,37 @@ class TagspinSystem:
             raise InsufficientDataError(
                 "3D localization needs at least two horizontal disks"
             )
-        all_series, starved = self._extract_series_gated(
-            batch, epcs, antenna_port
-        )
+        with tracer.span("extract", port=antenna_port) as extract_span:
+            all_series, starved = self._extract_series_gated(
+                batch, epcs, antenna_port
+            )
+            extract_span.annotate(
+                disks=len(all_series), starved=len(starved)
+            )
         usable = [epc for epc in horizontal if epc in all_series]
         vertical = [epc for epc in vertical if epc in all_series]
         if len(usable) < 2:
             raise InsufficientDataError(
                 "fewer than two horizontal disks produced usable phase series"
             )
-        spectra = {
-            epc: self.joint_spectrum(all_series[epc], self.registry.get(epc))
-            for epc in usable
-        }
+        with tracer.span("spectrum", kind="joint", disks=len(usable)):
+            spectra = {
+                epc: self.joint_spectrum(
+                    all_series[epc], self.registry.get(epc)
+                )
+                for epc in usable
+            }
         scored = self._score_disks(usable, all_series, spectra)
         kept, gate_excluded = select_disks(scored, self.config.gating)
         qualities = scored + starved
         excluded = gate_excluded + starved
+        if excluded:
+            get_registry().counter(
+                "tagspin_disk_exclusions_total",
+                "Disks dropped by the quality gate (or starved of "
+                "series) before triangulation.",
+                mode="3d",
+            ).inc(len(excluded))
         if len(kept) < 2:
             raise InsufficientDataError(
                 "disk quality gating left fewer than two usable disks"
@@ -522,11 +570,24 @@ class TagspinSystem:
             self.config.use_enhanced_profile
             and fix.residual > self.config.gating.fallback_residual_m
         ):
-            q_fix = self._locate_3d_from(kept, all_series, enhanced=False)
-            if q_fix.residual < fix.residual:
-                fix = q_fix
-                profile = "Q"
-                fallback_applied = True
+            with tracer.span(
+                "fallback", mode="3d", residual_m=fix.residual
+            ) as fb_span:
+                q_fix = self._locate_3d_from(
+                    kept, all_series, enhanced=False
+                )
+                if q_fix.residual < fix.residual:
+                    fix = q_fix
+                    profile = "Q"
+                    fallback_applied = True
+                fb_span.annotate(applied=fallback_applied)
+            if fallback_applied:
+                get_registry().counter(
+                    "tagspin_profile_fallbacks_total",
+                    "Fixes where the R-to-Q profile fallback won "
+                    "(lower residual).",
+                    mode="3d",
+                ).inc()
 
         if vertical:
             fix = self._resolve_with_vertical(fix, vertical[0], all_series)
@@ -550,33 +611,40 @@ class TagspinSystem:
         enhanced: Optional[bool],
     ) -> Fix3D:
         """Fuse a fixed horizontal-disk subset (the clean locate_3d core)."""
+        tracer = get_tracer()
         centers = [self.registry.get(epc).disk.center for epc in epcs]
         locator = TagspinLocator3D(
             z_min=self.config.z_min,
             z_max=self.config.z_max,
             prefer_sign=self.config.prefer_sign,
         )
-        spectra = [
-            self.joint_spectrum(
-                all_series[epc], self.registry.get(epc), enhanced
-            )
-            for epc in epcs
-        ]
+        with tracer.span("spectrum", kind="joint", disks=len(epcs)):
+            spectra = [
+                self.joint_spectrum(
+                    all_series[epc], self.registry.get(epc), enhanced
+                )
+                for epc in epcs
+            ]
         fix = locator.locate(centers, spectra)
 
         if self.config.orientation_calibration and any(
             self.registry.get(epc).orientation_profile is not None
             for epc in epcs
         ):
-            refined = []
-            for epc in epcs:
-                record = self.registry.get(epc)
-                corrected = [
-                    self._orientation_corrected(record, s, fix.position)
-                    for s in all_series[epc]
-                ]
-                refined.append(self.joint_spectrum(corrected, record, enhanced))
-            fix = locator.locate(centers, refined)
+            with tracer.span("refine", kind="orientation"):
+                refined = []
+                for epc in epcs:
+                    record = self.registry.get(epc)
+                    corrected = [
+                        self._orientation_corrected(
+                            record, s, fix.position
+                        )
+                        for s in all_series[epc]
+                    ]
+                    refined.append(
+                        self.joint_spectrum(corrected, record, enhanced)
+                    )
+                fix = locator.locate(centers, refined)
         return fix
 
     def locate_3d(self, batch: ReportBatch, antenna_port: int = 1) -> Fix3D:

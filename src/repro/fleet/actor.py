@@ -56,6 +56,7 @@ from repro.fleet.events import (
     EventLog,
 )
 from repro.hardware.llrp import TagReportData
+from repro.obs.metrics import get_registry
 from repro.server.resilience import ResilientLocalizationServer
 
 #: Builds a fresh (empty) server for one deployment incarnation.
@@ -139,6 +140,39 @@ class DeploymentActor:
         self._checkpoint_seq = 0
         self._batches_since_checkpoint = 0
         self._running = False
+        # Prebound per-deployment metrics: label resolution happens once
+        # here, so the ingest/fix hot paths only pay an inc()/set().
+        registry = get_registry()
+        self._m_delivered = registry.counter(
+            "tagspin_reports_delivered_total",
+            "Reports delivered from the mailbox to the serving tier "
+            "(matches the ledger's 'delivered').",
+            deployment=deployment_id,
+        )
+        self._m_accepted = registry.counter(
+            "tagspin_reports_accepted_total",
+            "Reports the validator accepted into serving buffers.",
+            deployment=deployment_id,
+        )
+        self._m_shed = registry.counter(
+            "tagspin_reports_shed_total",
+            "Reports shed by mailbox backpressure.",
+            deployment=deployment_id,
+        )
+        self._m_pending = registry.gauge(
+            "tagspin_mailbox_pending",
+            "Reports currently queued in the actor mailbox.",
+            deployment=deployment_id,
+        )
+        self._m_fixes = {
+            outcome: registry.counter(
+                "tagspin_fixes_total",
+                "Fix requests served by outcome.",
+                deployment=deployment_id,
+                outcome=outcome,
+            )
+            for outcome in ("ok", "error", "deadline")
+        }
 
     # ------------------------------------------------------------------
     # Producer-facing API (call from the event loop thread)
@@ -153,6 +187,7 @@ class DeploymentActor:
         """
         kept, shed = self.mailbox.offer(reader_name, list(reports))
         if shed:
+            self._m_shed.inc(shed)
             self.events.emit(
                 self.deployment_id,
                 EVENT_REPORTS_SHED,
@@ -160,6 +195,7 @@ class DeploymentActor:
                 shed=shed,
                 pending=self.mailbox.pending_reports,
             )
+        self._m_pending.set(self.mailbox.pending_reports)
         return kept
 
     def offer_columnar(self, reader_name: str, cols) -> int:
@@ -172,6 +208,7 @@ class DeploymentActor:
         """
         kept, shed = self.mailbox.offer_columnar(reader_name, cols)
         if shed:
+            self._m_shed.inc(shed)
             self.events.emit(
                 self.deployment_id,
                 EVENT_REPORTS_SHED,
@@ -179,6 +216,7 @@ class DeploymentActor:
                 shed=shed,
                 pending=self.mailbox.pending_reports,
             )
+        self._m_pending.set(self.mailbox.pending_reports)
         return kept
 
     async def request_fix(self, reader_name: str, antenna_port: int = 1):
@@ -261,15 +299,18 @@ class DeploymentActor:
     def _handle_ingest(self, message) -> None:
         columnar = isinstance(message, ColumnarIngestMessage)
         size = len(message.cols) if columnar else len(message.reports)
+        self._m_delivered.inc(size)
         try:
             if columnar:
-                self.stats.accepted += self.server.ingest_columnar(
+                accepted = self.server.ingest_columnar(
                     message.reader_name, message.cols
                 )
             else:
-                self.stats.accepted += self.server.ingest(
+                accepted = self.server.ingest(
                     message.reader_name, message.reports
                 )
+            self.stats.accepted += accepted
+            self._m_accepted.inc(accepted)
         except ConfigurationError as exc:
             # The whole batch was rejected before any report was
             # buffered (stream-key validation is all-or-nothing).
@@ -281,6 +322,7 @@ class DeploymentActor:
                 reports=size,
                 error=str(exc),
             )
+        self._m_pending.set(self.mailbox.pending_reports)
 
     # -- fixes ----------------------------------------------------------
     async def _handle_locate(self, message: CommandMessage) -> None:
@@ -302,6 +344,7 @@ class DeploymentActor:
         except asyncio.TimeoutError:
             self.stats.deadline_misses += 1
             self.stats.fixes_failed += 1
+            self._m_fixes["deadline"].inc()
             self.events.emit(
                 self.deployment_id,
                 EVENT_FIX_DEADLINE,
@@ -326,10 +369,12 @@ class DeploymentActor:
             return
         except TagspinError as exc:
             self.stats.fixes_failed += 1
+            self._m_fixes["error"].inc()
             if future is not None and not future.done():
                 future.set_exception(exc)
             return
         self.stats.fixes_served += 1
+        self._m_fixes["ok"].inc()
         if future is not None and not future.done():
             future.set_result(result)
 

@@ -18,6 +18,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Mapping, Optional
 
+from repro.obs.metrics import get_registry
+
 EVENT_ACTOR_STARTED = "actor-started"
 EVENT_ACTOR_STOPPED = "actor-stopped"
 EVENT_ACTOR_CRASHED = "actor-crashed"
@@ -73,6 +75,7 @@ class EventLog:
         self._counts: Dict[str, int] = {}
         self._seq = 0
         self._subscribers: List[Callable[[FleetEvent], None]] = []
+        self._subscriber_errors = 0
 
     def emit(
         self, deployment_id: str, kind: str, **detail: object
@@ -86,13 +89,48 @@ class EventLog:
         )
         self._events.append(event)
         self._counts[kind] = self._counts.get(kind, 0) + 1
-        for subscriber in self._subscribers:
-            subscriber(event)
+        # Bridge into the metrics registry: every event kind is a
+        # counter, so chaos SLOs and dashboards read one surface.
+        get_registry().counter(
+            "tagspin_fleet_events_total",
+            "Fleet lifecycle events by kind (EventLog bridge).",
+            kind=kind,
+        ).inc()
+        for subscriber in list(self._subscribers):
+            # A raising subscriber must never propagate out of emit():
+            # emit() runs inside actors and supervisors, and an observer
+            # bug would otherwise kill the component being observed.
+            try:
+                subscriber(event)
+            except Exception:
+                self._subscriber_errors += 1
+                get_registry().counter(
+                    "tagspin_event_subscriber_errors_total",
+                    "Exceptions raised (and contained) by EventLog "
+                    "subscribers.",
+                ).inc()
         return event
 
     def subscribe(self, callback: Callable[[FleetEvent], None]) -> None:
-        """Register a callback invoked synchronously on every emit."""
+        """Register a callback invoked synchronously on every emit.
+
+        Exceptions the callback raises are contained and counted in
+        :attr:`subscriber_errors` — they never propagate to the emitter.
+        """
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[FleetEvent], None]) -> bool:
+        """Remove a subscriber; returns False when it was not registered."""
+        try:
+            self._subscribers.remove(callback)
+            return True
+        except ValueError:
+            return False
+
+    @property
+    def subscriber_errors(self) -> int:
+        """Lifetime count of contained subscriber exceptions."""
+        return self._subscriber_errors
 
     def events(
         self,

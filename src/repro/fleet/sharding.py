@@ -30,6 +30,13 @@ acknowledged are folded into ``lost_in_crash``, keeping
 ``offered == shed + pending + delivered + lost_in_crash`` exact across
 process incarnations — the same invariant the in-process chaos harness
 asserts, now across ``kill -9``.
+
+**Exact cross-incarnation metrics.**  The same ledger acks carry each
+worker's :mod:`repro.obs` metrics-registry snapshot; dead incarnations
+fold into ``_metrics_folds`` exactly like the report ledger, so
+:meth:`ShardedFleet.metrics_snapshot` stays exact across SIGKILL +
+restart cycles (counters and histograms merge element-wise; see
+:func:`repro.obs.exposition.merge_snapshots`).
 """
 
 from __future__ import annotations
@@ -238,6 +245,9 @@ class _WorkerHandle:
         self.send_lock = threading.Lock()
         self.pending: Dict[int, Future] = {}
         self.last_ledger: Dict[str, dict] = {}
+        #: Latest metrics-registry snapshot piggybacked on a ledger ack;
+        #: the crash-fold source when this incarnation dies uncleanly.
+        self.last_metrics: Optional[dict] = None
         self.alive = False
         self.stopping = False
         self.final: Optional[dict] = None
@@ -281,6 +291,9 @@ class ShardedFleet:
         )
         self._workers = [_WorkerHandle(i) for i in range(workers)]
         self._routes: Dict[str, _Route] = {}
+        #: Metrics snapshots folded from dead worker incarnations (the
+        #: telemetry analogue of the per-route ledger folds).
+        self._metrics_folds: Optional[dict] = None
         self._rid = itertools.count(1)
         self._events_lock = threading.Lock()
         self._started = False
@@ -309,6 +322,7 @@ class ShardedFleet:
         handle.conn = parent_conn
         handle.pending = {}
         handle.last_ledger = {}
+        handle.last_metrics = None
         handle.stopping = False
         handle.final = None
         options = WorkerOptions(
@@ -372,6 +386,8 @@ class ShardedFleet:
                     future.set_result((message[2], message[3]))
             elif kind == "ledger":
                 handle.last_ledger[message[1]] = message[2]
+                if len(message) > 3:
+                    handle.last_metrics = message[3]
             elif kind == "release":
                 if handle.ring is not None:
                     try:
@@ -663,7 +679,25 @@ class ShardedFleet:
         parent dispatched them) and lost (no process ever saw them), so
         they land in both ``offered`` and ``lost_in_crash`` — exactly
         the buckets that keep the invariant balanced.
+
+        The incarnation's metrics snapshot folds alongside the ledger:
+        a clean stop reports its final registry state, a crash falls
+        back to the snapshot that rode the last ledger ack — the same
+        consistency point the ledger fold itself uses.  ``last_metrics``
+        is consumed so the incarnation is folded exactly once.
         """
+        from repro.obs.exposition import merge_snapshots
+
+        snapshot = None
+        if handle.final is not None:
+            snapshot = handle.final.get("metrics")
+        if snapshot is None:
+            snapshot = handle.last_metrics
+        if snapshot is not None:
+            self._metrics_folds = merge_snapshots(
+                [self._metrics_folds, snapshot]
+            )
+        handle.last_metrics = None
         for deployment_id, route in self._routes.items():
             if route.shard != handle.index:
                 continue
@@ -693,6 +727,44 @@ class ShardedFleet:
                 folds["pending"] += snap["pending"]
                 folds["lost_in_crash"] += snap["lost_in_crash"] + in_transit
             route.dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Metrics (exact across worker incarnations)
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide ``tagspin-metrics/1`` snapshot, exact across
+        worker restarts.
+
+        Merges, point-in-time (nothing here mutates fold state, so
+        repeated calls never double-count):
+
+        * the parent process's own registry (router/event metrics),
+        * every dead incarnation's fold (collected by
+          :meth:`_fold_worker`, per-incarnation like the report ledger),
+        * every live worker's current registry (a ``metrics`` request;
+          the last ledger-ack snapshot when the request fails), and
+        * the last-acked snapshot of a dead-but-not-yet-folded worker
+          (uncommanded death before :meth:`restart_shard`).
+        """
+        from repro.obs.exposition import merge_snapshots
+        from repro.obs.metrics import get_registry
+
+        parts: List[Optional[dict]] = [
+            get_registry().snapshot(),
+            self._metrics_folds,
+        ]
+        for handle in self._workers:
+            if handle.alive:
+                try:
+                    parts.append(self._request(handle, "metrics"))
+                except WorkerUnavailableError:
+                    parts.append(handle.last_metrics)
+            else:
+                # Folded incarnations were consumed (last_metrics is
+                # None); an unfolded uncommanded death still holds its
+                # last acked snapshot.
+                parts.append(handle.last_metrics)
+        return merge_snapshots(parts)
 
     # ------------------------------------------------------------------
     # Engine statistics (aggregated across workers)

@@ -432,3 +432,15 @@ class FleetSupervisor:
             totals.add_incarnation(live)
             totals.pending += live["pending"]
         return totals.as_dict()
+
+    def metrics_snapshot(self) -> dict:
+        """This process's ``tagspin-metrics/1`` registry snapshot.
+
+        The in-process twin of
+        :meth:`~repro.fleet.sharding.ShardedFleet.metrics_snapshot` —
+        actors share the process-wide registry, so one snapshot covers
+        every deployment.
+        """
+        from repro.obs.metrics import get_registry
+
+        return get_registry().snapshot()

@@ -22,6 +22,7 @@ from repro.core.pipeline import PipelineConfig
 from repro.errors import ConfigurationError, WireProtocolError
 from repro.fleet.supervisor import FleetSupervisor
 from repro.hardware.llrp_stream import StreamingLLRPParser, StreamStats
+from repro.obs.metrics import get_registry, telemetry_enabled
 from repro.server.resilience import ResilientLocalizationServer
 from repro.sim.wire_recording import WireRecording
 
@@ -157,6 +158,28 @@ class WireIngestEndpoint:
             report.reports_enqueued += self.supervisor.offer(
                 self.deployment_id, self.reader_name, reports
             )
+        if telemetry_enabled():
+            registry = get_registry()
+            registry.counter(
+                "tagspin_wire_bytes_total",
+                "Raw LLRP bytes consumed off the wire.",
+                deployment=self.deployment_id,
+            ).inc(len(chunk))
+            frames = len(batches)
+            if frames:
+                registry.counter(
+                    "tagspin_wire_frames_total",
+                    "Complete LLRP report frames decoded off the wire.",
+                    deployment=self.deployment_id,
+                ).inc(frames)
+            offered = sum(len(reports) for reports in batches)
+            if offered:
+                registry.counter(
+                    "tagspin_wire_reports_total",
+                    "Tag reports decoded from wire frames and offered "
+                    "to the supervisor.",
+                    deployment=self.deployment_id,
+                ).inc(offered)
 
     # ------------------------------------------------------------------
     @property

@@ -11,9 +11,12 @@ parent over one duplex pipe:
   carry a request id and get a ``("reply", rid, ok, payload)``;
 * ingest (``offer`` / ``offer_cols`` / ``offer_cols_inline``) is
   fire-and-forget, but every offer is acknowledged with a
-  ``("ledger", deployment_id, accounting)`` snapshot so the parent can
-  fold an exact cross-incarnation ledger even when this process is
-  SIGKILLed mid-stream;
+  ``("ledger", deployment_id, accounting, metrics)`` snapshot — the
+  exact report ledger plus this process's metrics-registry snapshot —
+  so the parent can fold exact cross-incarnation accounting *and*
+  telemetry even when this process is SIGKILLed mid-stream (both ride
+  the same message, so the folded metrics are always consistent with
+  the folded ledger);
 * ``offer_cols`` rows arrive through the shared-memory ring
   (:meth:`~repro.hardware.llrp_columnar.ColumnarReportBatch
   .unpack_from` — one copy out, no pickling) and the slot is released
@@ -237,7 +240,17 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
             )))
 
     def ledger_ack(deployment_id: str) -> None:
-        send(("ledger", deployment_id, supervisor.accounting(deployment_id)))
+        send((
+            "ledger",
+            deployment_id,
+            supervisor.accounting(deployment_id),
+            metrics_snapshot(),
+        ))
+
+    def metrics_snapshot() -> dict:
+        from repro.obs.metrics import get_registry
+
+        return get_registry().snapshot()
 
     def reject_ingest(deployment_id: str, reader_name: str,
                       exc: BaseException) -> None:
@@ -353,6 +366,8 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
                 })
             elif kind == "events":
                 reply(rid, True, events.counts())
+            elif kind == "metrics":
+                reply(rid, True, metrics_snapshot())
             elif kind == "info":
                 reply(rid, True, {
                     "pid": os.getpid(),
@@ -384,6 +399,7 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
                     },
                     "engine_stats": stats,
                     "events": events.counts(),
+                    "metrics": metrics_snapshot(),
                 })
                 return False
             else:
@@ -450,6 +466,11 @@ async def _serve(conn, index: int, shm_name: str, options: WorkerOptions,
 def worker_main(conn, index: int, shm_name: str,
                 options: WorkerOptions) -> None:
     """Entry point of one shard's worker process (spawn-safe)."""
+    from repro.obs.metrics import refresh_from_env
+
+    # Spawned children must honor the parent's TAGSPIN_DISABLE_TELEMETRY
+    # even under fork (where module state was inherited pre-toggle).
+    refresh_from_env()
     pin_status = apply_thread_limits(options.threads)
     try:
         asyncio.run(_serve(conn, index, shm_name, options, pin_status))

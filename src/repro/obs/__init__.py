@@ -1,0 +1,61 @@
+"""Unified observability layer: metrics, traces, exposition.
+
+``repro.obs`` is the one telemetry surface every other layer writes to:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and fixed-bucket mergeable histograms.  Instrument updates are
+  a few dict lookups plus an integer add, cheap enough to sit on the
+  1.25 M reports/s columnar ingest path (which increments per *batch*,
+  not per report).  ``TAGSPIN_DISABLE_TELEMETRY=1`` turns every update
+  into an attribute check + early return.
+* :mod:`repro.obs.trace` — per-fix trace spans
+  (``ingest -> validate -> spectrum -> refine -> fix``) with engine- and
+  disk-level children carrying cache hit/miss and harmonic-order
+  annotations.
+* :mod:`repro.obs.exposition` — Prometheus text format and the
+  versioned ``tagspin-metrics/1`` JSON snapshot, plus the exact
+  cross-process snapshot merge the sharded fleet folds worker
+  incarnations with.
+
+Nothing in here imports the rest of ``repro`` — every layer (fleet,
+server, perf, core) may import ``repro.obs`` without cycles.
+"""
+
+from repro.obs.exposition import (
+    SNAPSHOT_SCHEMA,
+    histogram_quantile,
+    merge_snapshots,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    set_telemetry_enabled,
+    telemetry_enabled,
+    use_registry,
+)
+from repro.obs.trace import Span, Tracer, get_tracer, use_tracer
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "histogram_quantile",
+    "merge_snapshots",
+    "set_registry",
+    "set_telemetry_enabled",
+    "telemetry_enabled",
+    "to_prometheus",
+    "use_registry",
+    "use_tracer",
+]

@@ -1,0 +1,280 @@
+"""Exposition surface: Prometheus text format, JSON schema, merging.
+
+Everything here operates on plain *snapshot dicts* (the picklable shape
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` produces)::
+
+    {
+      "schema": "tagspin-metrics/1",
+      "metrics": {
+        "tagspin_fixes_total": {
+          "type": "counter", "help": "...",
+          "samples": [{"labels": {"deployment": "d"}, "value": 3.0}],
+        },
+        "tagspin_fix_seconds": {
+          "type": "histogram", "help": "...",
+          "samples": [{"labels": {}, "bounds": [...], "counts": [...],
+                       "sum": 1.25, "count": 17}],
+        },
+      },
+    }
+
+Keeping the functions snapshot-shaped (not registry-shaped) is what
+lets worker processes pipe their snapshots to the sharded fleet parent
+and lets :func:`merge_snapshots` fold dead incarnations exactly, the
+same way the report ledger folds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Version tag of the JSON snapshot format.  Bump on breaking changes;
+#: consumers (CI artifacts, BENCH_*.json embeds) key on it.
+SNAPSHOT_SCHEMA = "tagspin-metrics/1"
+
+
+def empty_snapshot() -> dict:
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": {}}
+
+
+def _check_schema(snapshot: dict) -> None:
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"unsupported metrics snapshot schema {schema!r} "
+            f"(expected {SNAPSHOT_SCHEMA!r})"
+        )
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def merge_snapshots(snapshots: Sequence[Optional[dict]]) -> dict:
+    """Exact element-wise merge of metric snapshots.
+
+    Counters and gauges sum; histograms require identical bucket bounds
+    (guaranteed for same-version processes, enforced here) and add their
+    bucket counts, sums and totals.  ``None`` entries are skipped so
+    callers can pass optional per-worker snapshots straight through.
+    Merging is associative and commutative, so per-incarnation folds can
+    accumulate pairwise in any order.
+    """
+    merged: Dict[str, dict] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        _check_schema(snapshot)
+        for name, family in snapshot.get("metrics", {}).items():
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "type": family["type"],
+                    "help": family.get("help", ""),
+                    "samples": {},
+                }
+                merged[name] = target
+            elif target["type"] != family["type"]:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: type "
+                    f"{family['type']!r} vs {target['type']!r}"
+                )
+            if not target["help"]:
+                target["help"] = family.get("help", "")
+            for sample in family.get("samples", []):
+                key = _label_key(sample.get("labels", {}))
+                existing = target["samples"].get(key)
+                if family["type"] == "histogram":
+                    if existing is None:
+                        target["samples"][key] = {
+                            "labels": dict(sample.get("labels", {})),
+                            "bounds": list(sample["bounds"]),
+                            "counts": list(sample["counts"]),
+                            "sum": float(sample["sum"]),
+                            "count": int(sample["count"]),
+                        }
+                    else:
+                        if existing["bounds"] != list(sample["bounds"]):
+                            raise ValueError(
+                                f"cannot merge histogram {name!r}: "
+                                f"bucket bounds differ"
+                            )
+                        existing["counts"] = [
+                            a + b
+                            for a, b in zip(
+                                existing["counts"], sample["counts"]
+                            )
+                        ]
+                        existing["sum"] += float(sample["sum"])
+                        existing["count"] += int(sample["count"])
+                else:
+                    if existing is None:
+                        target["samples"][key] = {
+                            "labels": dict(sample.get("labels", {})),
+                            "value": float(sample["value"]),
+                        }
+                    else:
+                        existing["value"] += float(sample["value"])
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "metrics": {
+            name: {
+                "type": family["type"],
+                "help": family["help"],
+                "samples": [
+                    family["samples"][key]
+                    for key in sorted(family["samples"])
+                ],
+            }
+            for name, family in sorted(merged.items())
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(k, _escape_label(v)) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    _check_schema(snapshot)
+    lines: List[str] = []
+    for name, family in sorted(snapshot.get("metrics", {}).items()):
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for sample in family.get("samples", []):
+            labels = sample.get("labels", {})
+            if family["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                    list(sample["bounds"]) + [float("inf")],
+                    sample["counts"],
+                ):
+                    cumulative += count
+                    le = _render_labels(
+                        labels, extra=("le", _format_value(bound))
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                suffix = _render_labels(labels)
+                lines.append(
+                    f"{name}_sum{suffix} "
+                    f"{_format_value(float(sample['sum']))}"
+                )
+                lines.append(
+                    f"{name}_count{suffix} {int(sample['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(float(sample['value']))}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Snapshot queries (status tables, tests)
+# ----------------------------------------------------------------------
+def sample_value(snapshot: dict, name: str,
+                 labels: Optional[Dict[str, str]] = None) -> float:
+    """Sum of counter/gauge samples whose labels contain ``labels``."""
+    family = snapshot.get("metrics", {}).get(name)
+    if family is None:
+        return 0.0
+    wanted = labels or {}
+    total = 0.0
+    for sample in family.get("samples", []):
+        have = sample.get("labels", {})
+        if all(have.get(k) == v for k, v in wanted.items()):
+            total += float(sample.get("value", 0.0))
+    return total
+
+
+def histogram_totals(snapshot: dict, name: str,
+                     labels: Optional[Dict[str, str]] = None) -> dict:
+    """Merged ``{bounds, counts, sum, count}`` over matching samples."""
+    family = snapshot.get("metrics", {}).get(name)
+    result: dict = {"bounds": [], "counts": [], "sum": 0.0, "count": 0}
+    if family is None or family.get("type") != "histogram":
+        return result
+    wanted = labels or {}
+    for sample in family.get("samples", []):
+        have = sample.get("labels", {})
+        if not all(have.get(k) == v for k, v in wanted.items()):
+            continue
+        if not result["bounds"]:
+            result["bounds"] = list(sample["bounds"])
+            result["counts"] = list(sample["counts"])
+        else:
+            if result["bounds"] != list(sample["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} samples have mixed bounds"
+                )
+            result["counts"] = [
+                a + b for a, b in zip(result["counts"], sample["counts"])
+            ]
+        result["sum"] += float(sample["sum"])
+        result["count"] += int(sample["count"])
+    return result
+
+
+def histogram_quantile(totals: dict, quantile: float) -> float:
+    """Linear-interpolated quantile of a ``histogram_totals`` dict.
+
+    Standard Prometheus semantics: interpolate within the bucket the
+    target rank falls in; the +Inf bucket reports its lower bound.
+    Returns ``nan`` for an empty histogram.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    count = totals.get("count", 0)
+    if not count:
+        return float("nan")
+    bounds = list(totals["bounds"]) + [float("inf")]
+    rank = quantile * count
+    cumulative = 0
+    for index, bucket_count in enumerate(totals["counts"]):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank:
+            upper = bounds[index]
+            lower = bounds[index - 1] if index else 0.0
+            if upper == float("inf"):
+                return lower
+            if not bucket_count:
+                return upper
+            fraction = (rank - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+    return bounds[-2] if len(bounds) > 1 else float("nan")

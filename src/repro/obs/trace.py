@@ -1,0 +1,209 @@
+"""Per-fix trace spans with engine-level child annotations.
+
+A fix walks ``ingest -> validate/quarantine -> spectrum -> refine ->
+fix``; each stage opens a :class:`Span` under the thread's current
+span, so the tree a tracer retains mirrors the pipeline's actual call
+structure — including engine-level children like ``harmonic-evaluate``
+that annotate cache hits and harmonic orders per disk.
+
+Spans are strictly intra-process and intra-thread (the actor runs a
+whole fix on one executor thread), kept in a bounded deque of recent
+*root* spans.  They are a debugging/latency surface, not an accounting
+one: the exact cross-process invariants live in the metrics registry.
+When telemetry is disabled every ``span()`` returns a shared no-op
+context manager — no clock reads, no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+
+#: Default bound on retained root spans per tracer.
+DEFAULT_CAPACITY = 256
+
+
+class Span:
+    """One timed stage of a fix, with annotations and children."""
+
+    __slots__ = ("name", "annotations", "children", "duration_s", "_t0")
+
+    def __init__(self, name: str, annotations: Dict[str, object]) -> None:
+        self.name = name
+        self.annotations = annotations
+        self.children: List[Span] = []
+        self.duration_s = 0.0
+        self._t0 = 0.0
+
+    def annotate(self, **annotations: object) -> None:
+        self.annotations.update(annotations)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "annotations": dict(self.annotations),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def tree(self, indent: int = 0) -> str:
+        """Human-readable one-span-per-line rendering of the subtree."""
+        extras = " ".join(
+            f"{key}={value}" for key, value in self.annotations.items()
+        )
+        line = "  " * indent + (
+            f"{self.name}  {self.duration_s * 1e3:.3f} ms"
+            + (f"  [{extras}]" if extras else "")
+        )
+        return "\n".join(
+            [line] + [child.tree(indent + 1) for child in self.children]
+        )
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree (pre-order)."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+
+class _NullSpan:
+    """Shared no-op for disabled telemetry; absorbs annotate calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    def annotate(self, **_annotations: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *_exc) -> None:
+        self._span.duration_s = time.perf_counter() - self._span._t0
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Thread-local span stacks feeding one bounded root-span log."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: Deque[Span] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate interleaved misuse rather than corrupting the tree.
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **annotations: object):
+        """Open a child of the current span (or a new root).
+
+        Usable both as ``with tracer.span("fix") as s: s.annotate(...)``
+        and fire-and-forget.  Returns a shared no-op when telemetry is
+        disabled.
+        """
+        if not _metrics.telemetry_enabled():
+            return _NULL_SPAN
+        return _SpanContext(self, Span(name, dict(annotations)))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def annotate(self, **annotations: object) -> None:
+        """Attach annotations to the current span (no-op without one)."""
+        if not _metrics.telemetry_enabled():
+            return
+        span = self.current()
+        if span is not None:
+            span.annotate(**annotations)
+
+    def recent(self, n: Optional[int] = None,
+               name: Optional[str] = None) -> List[Span]:
+        """Most recent completed root spans, oldest first."""
+        with self._lock:
+            roots = list(self._roots)
+        if name is not None:
+            roots = [root for root in roots if root.name == name]
+        if n is not None:
+            roots = roots[-n:]
+        return roots
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+_default_lock = threading.Lock()
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer every layer writes spans to."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _default_tracer
+    with _default_lock:
+        previous = _default_tracer
+        _default_tracer = tracer
+        return previous
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer] = None):
+    """Scope the default tracer (tests), restoring the old on exit."""
+    scoped = tracer if tracer is not None else Tracer()
+    previous = set_tracer(scoped)
+    try:
+        yield scoped
+    finally:
+        set_tracer(previous)

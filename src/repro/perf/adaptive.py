@@ -60,10 +60,22 @@ from repro.core.spectrum import (
     peak_sharpness,
     power_from_residuals,
 )
+from repro.obs.metrics import get_registry
 from repro.perf.batched import BatchedEngine
 from repro.perf.cache import LRUCache, quantize_array, quantize_scalar
 from repro.perf.engine import SpectrumEngine
 from repro.perf.steering import grid_key, series_geometry_key
+
+
+def _count_fallback(kind: str) -> None:
+    """Flat-profile dense-fallback counter, by search kind."""
+    get_registry().counter(
+        "tagspin_engine_dense_fallbacks_total",
+        "Spectrum evaluations that fell back to the dense "
+        "(non-FFT) path.",
+        engine="adaptive",
+        kind=kind,
+    ).inc()
 
 #: Default angular tolerance of the refined peak [rad] (~0.057 deg).
 DEFAULT_TOLERANCE_RAD = 1e-3
@@ -437,6 +449,7 @@ class AdaptiveEngine(SpectrumEngine):
             coarse = combine_spectra(coarse_spectra)
             if self._is_flat(coarse):
                 self.dense_fallbacks += 1
+                _count_fallback("azimuth")
                 spectrum = self._dense_fused(series_list, grid, sigma)
             else:
                 basins = self._azimuth_basins(coarse.power)
@@ -499,6 +512,7 @@ class AdaptiveEngine(SpectrumEngine):
                 # *coarse* power surface so per-channel spectra of one
                 # link always share a grid (the pipeline averages them).
                 self.dense_fallbacks += 1
+                _count_fallback("joint")
                 dense = self._dense.joint_spectrum(
                     series, azimuths, polars, sigma
                 )
@@ -600,6 +614,7 @@ class AdaptiveEngine(SpectrumEngine):
                 # the *coarse* mean surface so the spectrum's grids match
                 # what this engine actually evaluated.
                 self.dense_fallbacks += 1
+                _count_fallback("joint_fused")
                 dense = combine_joint_spectra(
                     self._dense.joint_spectra(
                         series_list, azimuths, polars, sigma

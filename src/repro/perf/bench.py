@@ -358,6 +358,119 @@ def run_engine_scaling(
 
 
 # ----------------------------------------------------------------------
+# Telemetry-overhead microbenchmark
+# ----------------------------------------------------------------------
+@dataclass
+class TelemetryOverhead:
+    """Instrumented-vs-disabled timing of the fix workload.
+
+    Both arms run the identical workload on fresh engines; the only
+    difference is the :func:`repro.obs.metrics.set_telemetry_enabled`
+    switch.  Arms are interleaved within one process and each reports
+    its best-of-``repeats`` total, so thermal/allocator drift cancels
+    instead of landing on one side.  ``overhead_fraction`` can be
+    slightly negative on a noisy host — the CI gate is one-sided.
+    """
+
+    scenario: str
+    engine: str
+    rounds: int
+    repeats: int
+    enabled_s: float
+    disabled_s: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.disabled_s <= 0.0:
+            return 0.0
+        return (self.enabled_s - self.disabled_s) / self.disabled_s
+
+    def as_dict(self) -> dict:
+        record = dataclasses.asdict(self)
+        record["overhead_fraction"] = self.overhead_fraction
+        return record
+
+
+def run_telemetry_overhead(
+    scale: str = "medium",
+    engine: str = "harmonic",
+    rounds: int = 2,
+    repeats: int = 3,
+    seed: int = 2016,
+    snapshots: Optional[int] = None,
+    sigma: float = BENCH_SIGMA,
+    tolerance: Optional[float] = None,
+) -> TelemetryOverhead:
+    """Measure what the obs hooks cost on the spectrum hot path.
+
+    The instrumented arm exercises the real per-fix telemetry (engine
+    spans, harmonic-order histograms, cache counters); the disabled arm
+    short-circuits every update at the module-global check — the same
+    state ``TAGSPIN_DISABLE_TELEMETRY=1`` produces, toggled in-process
+    so both arms share one interpreter and one warmed allocator.
+    """
+    if rounds < 1 or repeats < 1:
+        raise ValueError("rounds and repeats must be positive")
+    from repro.obs.metrics import set_telemetry_enabled
+
+    spec = SCALES[scale]
+    if snapshots is not None:
+        spec = dataclasses.replace(spec, snapshots=snapshots)
+    series_list = build_series(spec, seed)
+    corrected_list = [_orientation_corrected(s) for s in series_list]
+    grid = default_azimuth_grid(np.deg2rad(spec.azimuth_resolution_deg))
+
+    def timed_pass() -> float:
+        bench_engine = _engine_for(engine, tolerance)
+        try:
+            start = time.perf_counter()
+            for _ in range(rounds):
+                run_fix(
+                    bench_engine, series_list, corrected_list, grid, sigma
+                )
+            return time.perf_counter() - start
+        finally:
+            bench_engine.close()
+
+    enabled_s = float("inf")
+    disabled_s = float("inf")
+    previous = set_telemetry_enabled(True)
+    try:
+        timed_pass()  # warm-up: imports, numpy pools, FFT plans
+        for repeat in range(repeats):
+            # Alternate arm order so drift cannot bias one arm.
+            arms = (True, False) if repeat % 2 == 0 else (False, True)
+            for arm_enabled in arms:
+                set_telemetry_enabled(arm_enabled)
+                elapsed = timed_pass()
+                if arm_enabled:
+                    enabled_s = min(enabled_s, elapsed)
+                else:
+                    disabled_s = min(disabled_s, elapsed)
+    finally:
+        set_telemetry_enabled(previous)
+    return TelemetryOverhead(
+        scenario=spec.name,
+        engine=engine,
+        rounds=rounds,
+        repeats=repeats,
+        enabled_s=enabled_s,
+        disabled_s=disabled_s,
+    )
+
+
+def format_telemetry_overhead(overhead: TelemetryOverhead) -> str:
+    """Human-readable telemetry-overhead summary."""
+    return (
+        f"telemetry overhead ({overhead.scenario}/{overhead.engine}, "
+        f"{overhead.rounds} fixes, best of {overhead.repeats}): "
+        f"instrumented {overhead.enabled_s * 1e3:.3f} ms vs disabled "
+        f"{overhead.disabled_s * 1e3:.3f} ms = "
+        f"{overhead.overhead_fraction * 100:+.2f}%"
+    )
+
+
+# ----------------------------------------------------------------------
 # Streaming microbenchmark
 # ----------------------------------------------------------------------
 @dataclass
@@ -500,12 +613,24 @@ def format_streaming(micro: StreamingMicrobench) -> str:
 def results_to_json(
     results: Sequence[ScenarioResult],
     streaming: Optional[StreamingMicrobench] = None,
+    telemetry: Optional[TelemetryOverhead] = None,
+    metrics: Optional[dict] = None,
 ) -> str:
-    """Machine-readable benchmark document (``BENCH_*.json`` schema)."""
+    """Machine-readable benchmark document (``BENCH_*.json`` schema).
+
+    ``metrics`` embeds a ``tagspin-metrics/1`` registry snapshot of the
+    benchmarked process (the snapshot carries its own schema tag), so a
+    perf trajectory records *what the engines did* — harmonic orders,
+    cache hits, dense fallbacks — next to how long they took.
+    """
     payload = {
         "schema": "tagspin-bench/1",
         "scenarios": [r.as_dict() for r in results],
     }
     if streaming is not None:
         payload["streaming"] = streaming.as_dict()
+    if telemetry is not None:
+        payload["telemetry"] = telemetry.as_dict()
+    if metrics is not None:
+        payload["metrics"] = metrics
     return json.dumps(payload, indent=2, allow_nan=False)

@@ -77,6 +77,8 @@ from repro.core.spectrum import (
     harmonic_coefficients,
     power_from_residuals,
 )
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, get_registry
+from repro.obs.trace import get_tracer
 from repro.perf import native
 from repro.perf.cache import LRUCache, quantize_array, quantize_scalar
 from repro.perf.engine import SpectrumEngine
@@ -342,6 +344,12 @@ class HarmonicEngine(SpectrumEngine):
         self._order_max = (
             order if self._order_max is None else max(self._order_max, order)
         )
+        get_registry().histogram(
+            "tagspin_harmonic_order",
+            "Adaptive Jacobi-Anger truncation orders of built "
+            "coefficient tables.",
+            buckets=DEFAULT_COUNT_BUCKETS,
+        ).observe(order)
 
     def _series_keys(
         self, series: SnapshotSeries
@@ -431,6 +439,12 @@ class HarmonicEngine(SpectrumEngine):
         cosine-difference identity, so it agrees to machine precision.
         """
         self.dense_fallbacks += 1
+        get_registry().counter(
+            "tagspin_engine_dense_fallbacks_total",
+            "Spectrum evaluations that fell back to the dense "
+            "(non-FFT) path.",
+            engine="harmonic",
+        ).inc()
         A, B = harmonic_coefficients(series)
         if polar_scale != 1.0:
             A = A * polar_scale
@@ -534,57 +548,73 @@ class HarmonicEngine(SpectrumEngine):
         if sigma is not None and sigma <= 0:
             raise ValueError("sigma must be positive")
         grid = np.asarray(azimuth_grid, dtype=float)
-        sigma_key = self._sigma_key(sigma)
-        results: List[Optional[AngleSpectrum]] = [None] * len(series_list)
-        pending: List[int] = []
-        keys: List[Optional[Tuple[Hashable, ...]]] = [None] * len(series_list)
-        gkey = grid_key(grid, 0.0)
-        for index, series in enumerate(series_list):
-            _check_series(series)
-            geom_key, measured_key = self._series_keys(series)
-            spectrum_key = (
-                "azimuth",
-                geom_key,
-                gkey,
-                measured_key,
-                sigma_key,
+        with get_tracer().span(
+            "harmonic-evaluate",
+            series=len(series_list),
+            grid=int(grid.size),
+        ) as span:
+            sigma_key = self._sigma_key(sigma)
+            results: List[Optional[AngleSpectrum]] = [None] * len(
+                series_list
             )
-            keys[index] = spectrum_key
-            cached = self._spectra.get(spectrum_key)
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append(index)
-        if not pending:
-            return results  # type: ignore[return-value]
-
-        layout = _circular_layout(grid)
-        if layout is None:
-            for index in pending:
-                series = series_list[index]
-                power = self._dense_azimuth_power(series, grid, sigma)
-                results[index] = self._finish_azimuth(
-                    keys[index], grid, power
+            pending: List[int] = []
+            keys: List[Optional[Tuple[Hashable, ...]]] = [None] * len(
+                series_list
+            )
+            gkey = grid_key(grid, 0.0)
+            for index, series in enumerate(series_list):
+                _check_series(series)
+                geom_key, measured_key = self._series_keys(series)
+                spectrum_key = (
+                    "azimuth",
+                    geom_key,
+                    gkey,
+                    measured_key,
+                    sigma_key,
                 )
-            return results  # type: ignore[return-value]
+                keys[index] = spectrum_key
+                cached = self._spectra.get(spectrum_key)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    pending.append(index)
+            span.annotate(
+                spectrum_hits=len(series_list) - len(pending),
+                spectrum_misses=len(pending),
+            )
+            if not pending:
+                return results  # type: ignore[return-value]
 
-        start, points = layout
-        if sigma is None:
-            self._evaluate_q_batch(
-                series_list, pending, results, keys, grid, start, points
-            )
-        else:
-            self._evaluate_r_batch(
-                series_list,
-                pending,
-                results,
-                keys,
-                grid,
-                start,
-                points,
-                sigma,
-            )
-        return results  # type: ignore[return-value]
+            layout = _circular_layout(grid)
+            if layout is None:
+                span.annotate(path="dense")
+                for index in pending:
+                    series = series_list[index]
+                    power = self._dense_azimuth_power(series, grid, sigma)
+                    results[index] = self._finish_azimuth(
+                        keys[index], grid, power
+                    )
+                return results  # type: ignore[return-value]
+
+            start, points = layout
+            if sigma is None:
+                self._evaluate_q_batch(
+                    series_list, pending, results, keys, grid, start, points
+                )
+            else:
+                self._evaluate_r_batch(
+                    series_list,
+                    pending,
+                    results,
+                    keys,
+                    grid,
+                    start,
+                    points,
+                    sigma,
+                )
+            if self._order_count:
+                span.annotate(order_max=self._order_max)
+            return results  # type: ignore[return-value]
 
     def _finish_azimuth(
         self,

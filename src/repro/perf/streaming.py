@@ -64,9 +64,21 @@ from repro.core.spectrum import (
     _refine_peak_circular,
     power_from_residuals,
 )
+from repro.obs.metrics import get_registry, telemetry_enabled
 from repro.perf.batched import BatchedEngine
 from repro.perf.cache import quantize_array, quantize_scalar
 from repro.perf.engine import SpectrumEngine
+
+
+def _count_path(path: str) -> None:
+    """Streaming warm/cold path counter (no-op when telemetry is off)."""
+    if not telemetry_enabled():
+        return
+    get_registry().counter(
+        "tagspin_streaming_paths_total",
+        "Streaming accumulator outcomes per residual-matrix request.",
+        path=path,
+    ).inc()
 
 #: Default cap on tracked links (≈ EPC x antenna x channel streams).
 DEFAULT_MAX_LINKS = 1024
@@ -284,6 +296,7 @@ class StreamingSpectrumAccumulator:
         state = self._links.get(key)
         if state is not None and not self._extends(state, series):
             self.stats.invalidations += 1
+            _count_path("invalidation")
             del self._links[key]
             state = None
         if state is None:
@@ -298,6 +311,7 @@ class StreamingSpectrumAccumulator:
                 )
                 self._links[key] = state
                 self.stats.trim_rereferences += 1
+                _count_path("trim_rereference")
             else:
                 state = _LinkState(
                     times=np.array(series.times, dtype=float),
@@ -305,12 +319,15 @@ class StreamingSpectrumAccumulator:
                 )
                 self._links[key] = state
                 self.stats.cold_builds += 1
+                _count_path("cold_build")
         elif series.times.size > state.times.size:
             state.times = np.array(series.times, dtype=float)
             state.phases = np.array(series.phases, dtype=float)
             self.stats.extensions += 1
+            _count_path("extension")
         else:
             self.stats.exact_hits += 1
+            _count_path("exact_hit")
         self._links.move_to_end(key)
         while len(self._links) > self.max_links:
             self._links.popitem(last=False)

@@ -39,11 +39,25 @@ import numpy as np
 from repro.constants import NUM_CHANNELS
 from repro.core.phase import wrap_phase, wrap_phase_signed
 from repro.hardware.llrp import TagReportData
+from repro.obs.metrics import get_registry, telemetry_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (hardware->robustness)
     from repro.hardware.llrp_columnar import ColumnarReportBatch
 
 TWO_PI = 2.0 * math.pi
+
+#: Screen outcomes that partition ``received`` (stats field -> label).
+_SCREEN_RESULTS = (
+    ("accepted", "accepted"),
+    ("duplicates", "duplicate"),
+    ("phase_out_of_range", "phase_out_of_range"),
+    ("rssi_out_of_range", "rssi_out_of_range"),
+    ("bad_channel", "bad_channel"),
+    ("bad_timestamp", "bad_timestamp"),
+)
+
+#: Repairs applied to reports that are *kept* (not part of the partition).
+_REPAIR_KINDS = (("reordered", "reordered"), ("pi_slips_repaired", "pi_slip"))
 
 
 @dataclass(frozen=True)
@@ -162,6 +176,7 @@ class ReportValidator:
         pi-slip detector per (tag, channel) series in timestamp order.
         The returned list preserves timestamp order.
         """
+        before = self.stats.as_dict()
         screened: List[TagReportData] = []
         for report in reports:
             self.stats.received += 1
@@ -171,6 +186,7 @@ class ReportValidator:
         if self.config.repair_pi_slips:
             screened = self._repair_pi_slips(screened)
         self.stats.accepted += len(screened)
+        self._publish_metrics(before)
         return screened
 
     def process_columnar(
@@ -188,8 +204,10 @@ class ReportValidator:
         """
         cfg = self.config
         n = len(cols)
+        before = self.stats.as_dict()
         self.stats.received += n
         if n == 0:
+            self._publish_metrics(before)
             return []
         # Unsigned timestamp columns (wire decode) cannot be negative.
         def _negative(column: np.ndarray) -> np.ndarray:
@@ -241,7 +259,39 @@ class ReportValidator:
         if cfg.repair_pi_slips:
             screened = self._repair_pi_slips(screened)
         self.stats.accepted += len(screened)
+        self._publish_metrics(before)
         return screened
+
+    def _publish_metrics(self, before: Dict[str, int]) -> None:
+        """Push this call's stat deltas into the metrics registry.
+
+        Batch-level (one pass over ~8 counters per ingest call), so the
+        columnar path's per-report cost stays zero.  The registry totals
+        partition exactly like :class:`QuarantineStats`:
+        ``received == sum(tagspin_validator_reports_total{result=*})``.
+        """
+        if not telemetry_enabled():
+            return
+        after = self.stats.as_dict()
+        registry = get_registry()
+        for stat_key, label in _SCREEN_RESULTS:
+            delta = after[stat_key] - before[stat_key]
+            if delta:
+                registry.counter(
+                    "tagspin_validator_reports_total",
+                    "Ingest screen outcomes; results partition every "
+                    "received report.",
+                    result=label,
+                ).inc(delta)
+        for stat_key, label in _REPAIR_KINDS:
+            delta = after[stat_key] - before[stat_key]
+            if delta:
+                registry.counter(
+                    "tagspin_validator_repairs_total",
+                    "Repairs applied to accepted reports (kept, not "
+                    "quarantined).",
+                    kind=label,
+                ).inc(delta)
 
     # ------------------------------------------------------------------
     # Per-report screens

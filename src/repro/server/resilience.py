@@ -34,6 +34,8 @@ from repro.core.locator import Fix2D, Fix3D
 from repro.core.pipeline import PipelineConfig
 from repro.errors import PermanentError, TransientError
 from repro.hardware.llrp import TagReportData
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.perf.engine import EngineSpec
 from repro.robustness.diagnostics import (
     DegradationState,
@@ -175,13 +177,16 @@ class ResilientLocalizationServer(LocalizationServer):
             validate_stream_key(reader_name, report.antenna_port)
             by_port.setdefault(report.antenna_port, []).append(report)
         accepted = 0
-        for port, port_reports in by_port.items():
-            validator = self._validators.setdefault(
-                (reader_name, port), ReportValidator(self.validation)
-            )
-            accepted += super().ingest(
-                reader_name, validator.process(port_reports)
-            )
+        tracer = get_tracer()
+        with tracer.span("ingest", reader=reader_name, path="object") as span:
+            for port, port_reports in by_port.items():
+                validator = self._validators.setdefault(
+                    (reader_name, port), ReportValidator(self.validation)
+                )
+                with tracer.span("validate", port=port):
+                    survivors = validator.process(port_reports)
+                accepted += super().ingest(reader_name, survivors)
+            span.annotate(accepted=accepted)
         return accepted
 
     def ingest_columnar(self, reader_name: str, cols) -> int:
@@ -200,14 +205,21 @@ class ResilientLocalizationServer(LocalizationServer):
         for port in ports:
             validate_stream_key(reader_name, port)
         accepted = 0
-        for port in ports:
-            sub = cols.select(np.asarray(cols.antenna_port == port))
-            validator = self._validators.setdefault(
-                (reader_name, port), ReportValidator(self.validation)
-            )
-            accepted += LocalizationServer.ingest(
-                self, reader_name, validator.process_columnar(sub)
-            )
+        tracer = get_tracer()
+        with tracer.span(
+            "ingest", reader=reader_name, path="columnar"
+        ) as span:
+            for port in ports:
+                sub = cols.select(np.asarray(cols.antenna_port == port))
+                validator = self._validators.setdefault(
+                    (reader_name, port), ReportValidator(self.validation)
+                )
+                with tracer.span("validate", port=port):
+                    survivors = validator.process_columnar(sub)
+                accepted += LocalizationServer.ingest(
+                    self, reader_name, survivors
+                )
+            span.annotate(accepted=accepted)
         return accepted
 
     def quarantine_stats(
@@ -277,6 +289,7 @@ class ResilientLocalizationServer(LocalizationServer):
             reader_name,
             antenna_port,
             lambda batch: self.system.locate_2d_diagnosed(batch, antenna_port),
+            mode="2d",
         )
 
     def locate_antenna_3d_diagnosed(
@@ -287,33 +300,73 @@ class ResilientLocalizationServer(LocalizationServer):
             reader_name,
             antenna_port,
             lambda batch: self.system.locate_3d_diagnosed(batch, antenna_port),
+            mode="3d",
         )
 
-    def _supervised_locate(self, reader_name, antenna_port, locate):
+    def _supervised_locate(self, reader_name, antenna_port, locate,
+                           mode="2d"):
         key: StreamKey = (reader_name, antenna_port)
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                batch = self._batch_for(reader_name, antenna_port)
-                fix, pipeline_diag = locate(batch)
-                break
-            except PermanentError:
-                self._states[key] = DegradationState.FAILED
-                raise
-            except TransientError:
-                if attempts >= self.retry.max_attempts:
-                    self._states[key] = DegradationState.FAILED
-                    raise
-                self._sleep(self.retry.delay(attempts))
-                self._refill(reader_name, antenna_port, attempts)
-
-        self._maybe_monitor(key)
-        diagnostics = self._build_diagnostics(
-            key, fix, pipeline_diag, attempts
+        registry = get_registry()
+        fix_seconds = registry.histogram(
+            "tagspin_fix_seconds",
+            "End-to-end supervised fix latency (includes retries).",
+            mode=mode,
         )
-        self._states[key] = diagnostics.degradation
-        self._last_diagnostics[key] = diagnostics
+        attempts = 0
+        with get_tracer().span(
+            "fix", reader=reader_name, port=antenna_port, mode=mode
+        ) as span, fix_seconds.time():
+            try:
+                while True:
+                    attempts += 1
+                    try:
+                        batch = self._batch_for(reader_name, antenna_port)
+                        fix, pipeline_diag = locate(batch)
+                        break
+                    except PermanentError:
+                        self._states[key] = DegradationState.FAILED
+                        raise
+                    except TransientError:
+                        if attempts >= self.retry.max_attempts:
+                            self._states[key] = DegradationState.FAILED
+                            raise
+                        registry.counter(
+                            "tagspin_fix_retries_total",
+                            "Transient fix failures that were retried.",
+                        ).inc()
+                        self._sleep(self.retry.delay(attempts))
+                        self._refill(reader_name, antenna_port, attempts)
+            except (PermanentError, TransientError) as exc:
+                span.annotate(attempts=attempts, outcome="failed")
+                registry.counter(
+                    "tagspin_server_fixes_total",
+                    "Supervised fixes by outcome.",
+                    mode=mode,
+                    outcome=(
+                        "permanent_error"
+                        if isinstance(exc, PermanentError)
+                        else "transient_exhausted"
+                    ),
+                ).inc()
+                raise
+
+            self._maybe_monitor(key)
+            diagnostics = self._build_diagnostics(
+                key, fix, pipeline_diag, attempts
+            )
+            self._states[key] = diagnostics.degradation
+            self._last_diagnostics[key] = diagnostics
+            span.annotate(
+                attempts=attempts,
+                outcome="ok",
+                degradation=diagnostics.degradation.value,
+            )
+            registry.counter(
+                "tagspin_server_fixes_total",
+                "Supervised fixes by outcome.",
+                mode=mode,
+                outcome="ok",
+            ).inc()
         return fix, diagnostics
 
     def _refill(self, reader_name: str, antenna_port: int, attempt: int) -> None:

@@ -178,6 +178,14 @@ class LocalizationServer:
             )
         return ReportBatch(list(buffer.reports))
 
+    def batch_for(self, reader_name: str, antenna_port: int = 1) -> ReportBatch:
+        """Copy of one antenna's buffered reports (health checks, CLI).
+
+        Raises :class:`~repro.errors.InsufficientDataError` when the
+        stream has no buffered reports.
+        """
+        return self._batch_for(reader_name, antenna_port)
+
     def locate_antenna_2d(
         self, reader_name: str, antenna_port: int = 1
     ) -> Fix2D:

@@ -1,0 +1,106 @@
+"""EventLog subscriber containment, unsubscribe, and metrics bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.events import EVENT_ACTOR_STARTED, EventLog
+from repro.obs.exposition import sample_value
+from repro.obs.metrics import use_registry
+
+
+class TestSubscriberContainment:
+    def test_raising_subscriber_does_not_break_emit(self):
+        log = EventLog()
+
+        def bad(_event):
+            raise RuntimeError("observer bug")
+
+        log.subscribe(bad)
+        event = log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert event.kind == EVENT_ACTOR_STARTED
+        assert log.subscriber_errors == 1
+        # The log itself must still have recorded the event.
+        assert log.count(EVENT_ACTOR_STARTED) == 1
+
+    def test_other_subscribers_still_run_after_a_raise(self):
+        log = EventLog()
+        seen = []
+
+        def bad(_event):
+            raise ValueError("boom")
+
+        log.subscribe(bad)
+        log.subscribe(seen.append)
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert len(seen) == 2
+        assert log.subscriber_errors == 2
+
+    def test_subscriber_errors_bridge_to_metrics(self):
+        with use_registry() as registry:
+            log = EventLog()
+            log.subscribe(lambda _event: (_ for _ in ()).throw(OSError()))
+            log.emit("dep-a", EVENT_ACTOR_STARTED)
+            snapshot = registry.snapshot()
+        assert sample_value(
+            snapshot, "tagspin_event_subscriber_errors_total"
+        ) == 1.0
+        assert sample_value(
+            snapshot,
+            "tagspin_fleet_events_total",
+            {"kind": EVENT_ACTOR_STARTED},
+        ) == 1.0
+
+    def test_subscriber_mutating_subscribers_during_emit(self):
+        # A subscriber unsubscribing itself mid-emit must not skip or
+        # double-call others (emit iterates a copy of the list).
+        log = EventLog()
+        seen = []
+
+        def once(event):
+            seen.append(event)
+            log.unsubscribe(once)
+
+        log.subscribe(once)
+        log.subscribe(seen.append)
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert len(seen) == 3  # once fired once, append fired twice
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_delivery(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert log.unsubscribe(seen.append) is True
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert len(seen) == 1
+
+    def test_unsubscribe_unknown_returns_false(self):
+        log = EventLog()
+        assert log.unsubscribe(lambda _event: None) is False
+
+    def test_unsubscribe_removes_one_registration(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.subscribe(seen.append)
+        log.unsubscribe(seen.append)
+        log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert len(seen) == 1
+
+
+class TestCapacity:
+    def test_counts_survive_log_wrap(self):
+        log = EventLog(capacity=4)
+        for _ in range(10):
+            log.emit("dep-a", EVENT_ACTOR_STARTED)
+        assert len(log) == 4
+        assert log.count(EVENT_ACTOR_STARTED) == 10
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)

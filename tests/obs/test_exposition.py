@@ -1,0 +1,175 @@
+"""Tests for repro.obs.exposition (Prometheus text, snapshot merge).
+
+The merge property tests are the load-bearing ones: the sharded fleet
+folds dead-worker snapshots with :func:`merge_snapshots`, and the
+"exact across restarts" guarantee only holds if merging two snapshots
+is indistinguishable from having recorded the union stream into one
+registry.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.exposition import (
+    SNAPSHOT_SCHEMA,
+    empty_snapshot,
+    histogram_quantile,
+    histogram_totals,
+    merge_snapshots,
+    sample_value,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+
+def _snapshot_of(values, bounds=BOUNDS):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h_seconds", buckets=bounds)
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestPrometheusText:
+    def test_renders_all_instrument_types(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter", kind="x").inc(2)
+        registry.gauge("g", "a gauge").set(1.5)
+        registry.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{kind="x"} 2' in text
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE g gauge" in text
+        assert "# TYPE h_seconds histogram" in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative_and_monotone(self):
+        snapshot = _snapshot_of([0.005, 0.005, 0.5, 5.0, 50.0])
+        text = to_prometheus(snapshot)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("h_seconds_bucket"):
+                counts.append(float(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 5.0
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", kind='we"ird\n\\x').inc()
+        text = to_prometheus(registry.snapshot())
+        assert 'kind="we\\"ird\\n\\\\x"' in text
+
+
+class TestHelpers:
+    def test_sample_value_sums_subset_matches(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", dep="a", outcome="ok").inc(2)
+        registry.counter("c_total", dep="a", outcome="error").inc(1)
+        registry.counter("c_total", dep="b", outcome="ok").inc(5)
+        snapshot = registry.snapshot()
+        assert sample_value(snapshot, "c_total") == 8.0
+        assert sample_value(snapshot, "c_total", {"dep": "a"}) == 3.0
+        assert sample_value(snapshot, "c_total", {"outcome": "ok"}) == 7.0
+        assert sample_value(snapshot, "c_total", {"dep": "missing"}) == 0.0
+
+    def test_histogram_totals_and_quantile(self):
+        snapshot = _snapshot_of([0.005] * 50 + [0.5] * 49 + [5.0])
+        totals = histogram_totals(snapshot, "h_seconds")
+        assert totals["count"] == 100
+        assert histogram_quantile(totals, 0.5) == pytest.approx(0.01)
+        assert histogram_quantile(totals, 0.99) == pytest.approx(1.0)
+
+    def test_quantile_of_empty_histogram_is_nan(self):
+        totals = histogram_totals(_snapshot_of([]), "h_seconds")
+        assert math.isnan(histogram_quantile(totals, 0.5))
+
+
+class TestMergeSemantics:
+    def test_merge_skips_none_and_empty(self):
+        snapshot = _snapshot_of([0.5])
+        merged = merge_snapshots([None, empty_snapshot(), snapshot, None])
+        assert merged["schema"] == SNAPSHOT_SCHEMA
+        assert histogram_totals(merged, "h_seconds")["count"] == 1
+
+    def test_merge_sums_counters_and_gauges(self):
+        a = MetricsRegistry()
+        a.counter("c_total", kind="x").inc(2)
+        a.gauge("g").set(3)
+        b = MetricsRegistry()
+        b.counter("c_total", kind="x").inc(5)
+        b.counter("c_total", kind="y").inc(1)
+        b.gauge("g").set(4)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert sample_value(merged, "c_total", {"kind": "x"}) == 7.0
+        assert sample_value(merged, "c_total", {"kind": "y"}) == 1.0
+        assert sample_value(merged, "g") == 7.0
+
+    @given(
+        left=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False), max_size=50
+        ),
+        right=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False), max_size=50
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_histogram_merge_equals_union_stream(self, left, right):
+        merged = merge_snapshots(
+            [_snapshot_of(left), _snapshot_of(right)]
+        )
+        union = _snapshot_of(left + right)
+        got = histogram_totals(merged, "h_seconds")
+        want = histogram_totals(union, "h_seconds")
+        assert got["counts"] == want["counts"]
+        assert got["count"] == want["count"]
+        assert math.isclose(
+            got["sum"], want["sum"], rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(
+        streams=st.lists(
+            st.lists(st.integers(0, 1000), max_size=20),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_counter_merge_equals_union_stream(self, streams):
+        def record(stream):
+            registry = MetricsRegistry()
+            counter = registry.counter("c_total")
+            for value in stream:
+                counter.inc(value)
+            return registry.snapshot()
+
+        merged = merge_snapshots([record(s) for s in streams])
+        union = record([v for s in streams for v in s])
+        assert sample_value(merged, "c_total") == sample_value(
+            union, "c_total"
+        )
+
+    @given(
+        a=st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=20),
+        b=st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=20),
+        c=st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        sa, sb, sc = _snapshot_of(a), _snapshot_of(b), _snapshot_of(c)
+        left = merge_snapshots([merge_snapshots([sa, sb]), sc])
+        right = merge_snapshots([sa, merge_snapshots([sb, sc])])
+        assert (
+            histogram_totals(left, "h_seconds")["counts"]
+            == histogram_totals(right, "h_seconds")["counts"]
+        )

@@ -1,0 +1,162 @@
+"""Tests for repro.obs.metrics (registry, instruments, kill-switch)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_telemetry_enabled,
+    telemetry_enabled,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negative(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_le_semantics(self):
+        # A value equal to a bound lands in that bound's bucket.
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.sum == pytest.approx(109.0)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_histogram_timer_observes(self):
+        histogram = Histogram((10.0,))
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert 0.0 <= histogram.sum < 10.0
+
+
+class TestRegistry:
+    def test_same_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "help", kind="x")
+        b = registry.counter("c_total", kind="x")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", x="1", y="2")
+        b = registry.counter("c_total", y="2", x="1")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        # Same buckets are fine.
+        registry.histogram("h", buckets=(1.0, 2.0))
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts things", kind="a").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram(
+            "h", buckets=DEFAULT_COUNT_BUCKETS
+        ).observe(5)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == "tagspin-metrics/1"
+        counter = snapshot["metrics"]["c_total"]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "counts things"
+        assert counter["samples"] == [
+            {"labels": {"kind": "a"}, "value": 3.0}
+        ]
+        histogram = snapshot["metrics"]["h"]["samples"][0]
+        assert histogram["count"] == 1
+        assert len(histogram["counts"]) == len(histogram["bounds"]) + 1
+
+    def test_use_registry_scopes_default(self):
+        outer = get_registry()
+        with use_registry() as scoped:
+            assert get_registry() is scoped
+            assert get_registry() is not outer
+        assert get_registry() is outer
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+
+        def work() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestKillSwitch:
+    def test_disable_short_circuits_every_update(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h", buckets=(1.0,))
+        previous = set_telemetry_enabled(False)
+        try:
+            assert not telemetry_enabled()
+            counter.inc()
+            gauge.set(5)
+            histogram.observe(0.5)
+            with histogram.time():
+                pass
+            assert counter.value == 0.0
+            assert gauge.value == 0.0
+            assert histogram.count == 0
+        finally:
+            set_telemetry_enabled(previous)
+        counter.inc()
+        assert counter.value == 1.0
+
+    def test_toggle_returns_previous_state(self):
+        previous = set_telemetry_enabled(False)
+        try:
+            assert set_telemetry_enabled(True) is False
+            assert set_telemetry_enabled(previous) is True
+        finally:
+            set_telemetry_enabled(previous)

@@ -1,0 +1,141 @@
+"""Tests for repro.obs.trace (span trees, annotations, kill-switch)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import set_telemetry_enabled
+from repro.obs.trace import Tracer, get_tracer, use_tracer
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("fix", mode="2d") as root:
+            with tracer.span("extract"):
+                pass
+            with tracer.span("spectrum", kind="azimuth") as spectrum:
+                with tracer.span("harmonic-evaluate"):
+                    pass
+            spectrum.annotate(disks=3)
+        assert root.name == "fix"
+        assert root.annotations["mode"] == "2d"
+        assert [child.name for child in root.children] == [
+            "extract", "spectrum",
+        ]
+        assert root.children[1].annotations["disks"] == 3
+        assert root.children[1].children[0].name == "harmonic-evaluate"
+        assert root.duration_s >= 0.0
+
+    def test_find_returns_all_matches(self):
+        tracer = Tracer()
+        with tracer.span("fix") as root:
+            with tracer.span("spectrum"):
+                with tracer.span("harmonic-evaluate"):
+                    pass
+            with tracer.span("spectrum"):
+                pass
+        assert len(root.find("spectrum")) == 2
+        assert len(root.find("harmonic-evaluate")) == 1
+        assert root.find("missing") == []
+
+    def test_tree_renders_every_span(self):
+        tracer = Tracer()
+        with tracer.span("fix") as root:
+            with tracer.span("extract", disks=4):
+                pass
+        text = root.tree()
+        assert "fix" in text
+        assert "extract" in text
+        assert "disks=4" in text
+
+    def test_as_dict_roundtrips_structure(self):
+        tracer = Tracer()
+        with tracer.span("fix", mode="3d") as root:
+            with tracer.span("refine", kind="orientation"):
+                pass
+        as_dict = root.as_dict()
+        assert as_dict["name"] == "fix"
+        assert as_dict["annotations"] == {"mode": "3d"}
+        assert as_dict["children"][0]["name"] == "refine"
+
+    def test_roots_are_bounded(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"root-{i}"):
+                pass
+        roots = tracer.recent()
+        assert len(roots) == 4
+        assert roots[-1].name == "root-9"
+
+    def test_recent_filters_by_name_and_count(self):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.span("fix", attempt=i):
+                pass
+            with tracer.span("ingest"):
+                pass
+        fixes = tracer.recent(name="fix")
+        assert len(fixes) == 3
+        assert tracer.recent(n=1, name="fix")[0].annotations == {
+            "attempt": 2
+        }
+
+    def test_annotate_current_span(self):
+        tracer = Tracer()
+        with tracer.span("fix") as span:
+            tracer.annotate(outcome="ok")
+        assert span.annotations["outcome"] == "ok"
+        # Without an open span it must be a safe no-op.
+        tracer.annotate(outcome="ignored")
+
+    def test_threads_get_separate_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def work(tag: str) -> None:
+            try:
+                with tracer.span(f"fix-{tag}") as span:
+                    with tracer.span(f"child-{tag}"):
+                        pass
+                assert span.children[0].name == f"child-{tag}"
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(str(i),)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(tracer.recent()) == 4
+
+
+class TestKillSwitch:
+    def test_disabled_tracer_yields_null_span(self):
+        tracer = Tracer()
+        previous = set_telemetry_enabled(False)
+        try:
+            with tracer.span("fix", mode="2d") as span:
+                # Annotating the null span must be a safe no-op.
+                span.annotate(outcome="ok")
+                with tracer.span("extract") as child:
+                    child.annotate(disks=1)
+            tracer.annotate(outcome="ignored")
+        finally:
+            set_telemetry_enabled(previous)
+        assert tracer.recent() == []
+
+
+class TestDefaultTracer:
+    def test_use_tracer_scopes_default(self):
+        outer = get_tracer()
+        with use_tracer() as scoped:
+            assert get_tracer() is scoped
+            assert get_tracer() is not outer
+            with get_tracer().span("fix"):
+                pass
+            assert len(scoped.recent()) == 1
+        assert get_tracer() is outer
